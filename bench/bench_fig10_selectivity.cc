@@ -1,0 +1,93 @@
+// Reproduces Figure 10 (Appendix B.4): benefits of lazy materialization
+// and skip lists as the map-function predicate's selectivity varies. The
+// job aggregates a value from the map-typed column for records whose
+// string column matches a prefix; selectivity is swept from ~0% to 100%.
+//
+// Paper shape: at low selectivity CIF-SL clearly beats CIF (it never
+// deserializes the map column for non-matching records); the two converge
+// as selectivity approaches 100%, where CIF-SL's overhead over CIF is
+// minor.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cif/cif.h"
+#include "cif/cof.h"
+#include "workload/synthetic.h"
+
+namespace colmr {
+namespace {
+
+using bench::Die;
+
+constexpr uint64_t kBaseRecords = 150000;
+
+double RunScan(MiniHdfs* fs, const std::string& path, bool lazy) {
+  ColumnInputFormat format;
+  JobConfig config;
+  config.input_paths = {path};
+  config.projection = {"str0", "map0"};
+  config.lazy_records = lazy;
+  uint64_t sum = 0;
+  uint64_t matches = 0;
+  bench::ScanResult result =
+      bench::ScanDataset(fs, &format, config, [&](Record& record) {
+        const std::string& s = record.GetOrDie("str0").string_value();
+        if (s.rfind(kMicrobenchMatchPrefix, 0) == 0) {
+          // Aggregate the map values of matching records (the paper's
+          // aggregation under a given key).
+          for (const auto& [key, value] : record.GetOrDie("map0").map_entries()) {
+            sum += static_cast<uint64_t>(value.int32_value());
+          }
+          ++matches;
+        }
+      });
+  (void)sum;
+  (void)matches;
+  return result.sim_seconds;
+}
+
+}  // namespace
+}  // namespace colmr
+
+int main() {
+  using namespace colmr;
+  const uint64_t records = bench::ScaledCount(kBaseRecords);
+  std::printf("=== Figure 10: lazy materialization vs selectivity ===\n");
+  std::printf("%12s %12s %12s %10s\n", "Selectivity", "CIF(s)", "CIF-SL(s)",
+              "speedup");
+
+  for (double selectivity : {0.001, 0.01, 0.05, 0.2, 0.5, 0.8, 1.0}) {
+    // Fresh dataset per point so the hit fraction is exact.
+    auto fs = std::make_unique<MiniHdfs>(
+        bench::PaperCluster(), std::make_unique<ColumnPlacementPolicy>(10));
+    Schema::Ptr schema = MicrobenchSchema();
+    CofOptions plain_options;
+    plain_options.split_target_bytes = 8ull << 20;
+    CofOptions sl_options = plain_options;
+    sl_options.default_column.layout = ColumnLayout::kSkipList;
+    sl_options.column_overrides["str0"] = ColumnOptions{};  // always read
+
+    std::unique_ptr<CofWriter> plain, sl;
+    Die(CofWriter::Open(fs.get(), "/plain", schema, plain_options, &plain),
+        "plain");
+    Die(CofWriter::Open(fs.get(), "/sl", schema, sl_options, &sl), "sl");
+    MicrobenchGenerator gen(2020, selectivity);
+    for (uint64_t i = 0; i < records; ++i) {
+      const Value record = gen.Next();
+      Die(plain->WriteRecord(record), "write");
+      Die(sl->WriteRecord(record), "write");
+    }
+    Die(plain->Close(), "close");
+    Die(sl->Close(), "close");
+
+    const double cif_seconds = RunScan(fs.get(), "/plain", false);
+    const double sl_seconds = RunScan(fs.get(), "/sl", true);
+    std::printf("%11.1f%% %12.3f %12.3f %9.2fx\n", selectivity * 100,
+                cif_seconds, sl_seconds, cif_seconds / sl_seconds);
+  }
+  std::printf(
+      "\npaper shape: CIF-SL wins at high selectivity (few matches) and "
+      "converges to CIF\nnear 100%% with only minor overhead.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#ifndef COLMR_BENCH_BENCH_UTIL_H_
+#define COLMR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "hdfs/cost_model.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/job.h"
+
+namespace colmr {
+namespace bench {
+
+/// Paper-faithful cluster parameters (Section 6.1), with the HDFS block
+/// size scaled down 16x so laptop-scale datasets still span many blocks
+/// while keeping the paper's block : row-group : io-buffer geometry.
+inline ClusterConfig PaperCluster() {
+  ClusterConfig config;
+  config.num_nodes = 40;
+  config.map_slots_per_node = 6;
+  config.reduce_slots_per_node = 1;
+  config.replication = 3;
+  config.block_size = 4ull << 20;
+  config.io_buffer_size = 128 * 1024;  // the io.file.buffer.size they set
+  return config;
+}
+
+/// Multiplies default record counts; set COLMR_BENCH_SCALE to run bigger
+/// or smaller experiments (e.g. 0.1 for a smoke run, 10 for a long one).
+inline double Scale() {
+  const char* env = std::getenv("COLMR_BENCH_SCALE");
+  return env == nullptr ? 1.0 : std::atof(env);
+}
+
+inline uint64_t ScaledCount(uint64_t base) {
+  const double scaled = static_cast<double>(base) * Scale();
+  return scaled < 1 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+/// Result of scanning one dataset single-threaded (the Section 6.2
+/// single-node microbenchmark setting).
+struct ScanResult {
+  double cpu_seconds = 0;
+  IoStats io;
+  uint64_t records = 0;
+  /// CPU + modelled single-disk I/O — the scan-time analogue.
+  double sim_seconds = 0;
+};
+
+/// Scans an entire dataset through an InputFormat, feeding every record to
+/// `consume`. All I/O is counted; time is measured around the scan loop.
+inline ScanResult ScanDataset(MiniHdfs* fs, InputFormat* format,
+                              JobConfig config,
+                              const std::function<void(Record&)>& consume) {
+  ScanResult result;
+  std::vector<InputSplit> splits;
+  Status s = format->GetSplits(fs, config, &splits);
+  if (!s.ok()) {
+    std::fprintf(stderr, "GetSplits: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  Stopwatch watch;
+  for (const InputSplit& split : splits) {
+    std::unique_ptr<RecordReader> reader;
+    s = format->CreateRecordReader(fs, config, split,
+                                   ReadContext{kAnyNode, &result.io},
+                                   &reader);
+    if (!s.ok()) {
+      std::fprintf(stderr, "CreateRecordReader: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    while (reader->Next()) {
+      consume(reader->record());
+      ++result.records;
+    }
+    if (!reader->status().ok()) {
+      std::fprintf(stderr, "scan: %s\n", reader->status().ToString().c_str());
+      std::abort();
+    }
+  }
+  result.cpu_seconds = watch.ElapsedSeconds();
+  CostModel model(fs->config());
+  result.sim_seconds = model.TaskSeconds({result.cpu_seconds, result.io});
+  return result;
+}
+
+/// Total size of all files under a dataset directory.
+inline uint64_t DatasetBytes(MiniHdfs* fs, const std::string& path) {
+  std::vector<std::string> files;
+  Status s = ExpandInputPaths(fs, {path}, &files);
+  if (!s.ok()) return 0;
+  uint64_t total = 0;
+  for (const std::string& file : files) {
+    uint64_t size = 0;
+    fs->GetFileSize(file, &size);
+    total += size;
+  }
+  return total;
+}
+
+inline void Die(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+inline std::string Mb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bytes / 1e6);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace colmr
+
+#endif  // COLMR_BENCH_BENCH_UTIL_H_

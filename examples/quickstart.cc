@@ -1,0 +1,108 @@
+// Quickstart: write a column-oriented dataset with ColumnOutputFormat,
+// then run a MapReduce job over it with ColumnInputFormat, projection
+// pushdown, and lazy record construction.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "cif/cif.h"
+#include "cif/cof.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/engine.h"
+
+using namespace colmr;
+
+int main() {
+  // 1. An in-process HDFS with the paper's ColumnPlacementPolicy, so the
+  //    column files of each split-directory are co-located across
+  //    replicas (Section 4.2).
+  ClusterConfig cluster;
+  cluster.num_nodes = 8;
+  cluster.block_size = 1 << 20;
+  auto fs = std::make_unique<MiniHdfs>(
+      cluster, std::make_unique<ColumnPlacementPolicy>());
+
+  // 2. Declare a schema. Complex types (arrays, maps, nested records) are
+  //    first-class, as in the paper's Fig. 2.
+  Schema::Ptr schema;
+  Status s = Schema::Parse(
+      "record Order { id: long, customer: string, amount: double, "
+      "tags: array<string>, attrs: map<string> }",
+      &schema);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Load data through the ColumnOutputFormat: one file per column per
+  //    split-directory, with skip lists on the map column so lazy readers
+  //    can jump over it.
+  CofOptions options;
+  options.split_target_bytes = 1 << 20;
+  options.column_overrides["attrs"] = {ColumnLayout::kDictSkipList,
+                                       CodecType::kNone, 0};
+  std::unique_ptr<CofWriter> writer;
+  s = CofWriter::Open(fs.get(), "/orders", schema, options, &writer);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cof: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < 50000; ++i) {
+    Value record = Value::Record({
+        Value::Int64(i),
+        Value::String("customer-" + std::to_string(i % 997)),
+        Value::Double((i % 500) * 1.25),
+        Value::Array({Value::String(i % 3 == 0 ? "priority" : "standard")}),
+        Value::Map({{"region", Value::String(i % 2 ? "emea" : "apac")},
+                    {"channel", Value::String(i % 5 ? "web" : "store")}}),
+    });
+    writer->WriteRecord(record);
+  }
+  writer->Close();
+  std::printf("loaded %llu records into %d split-directories\n",
+              static_cast<unsigned long long>(writer->record_count()),
+              writer->split_count());
+
+  // 4. A MapReduce job: total revenue per region. Only the two columns
+  //    the job touches are configured in the projection; the other three
+  //    column files are never opened.
+  Job job;
+  job.config.input_paths = {"/orders"};
+  job.config.projection = {"amount", "attrs"};
+  job.config.lazy_records = true;
+  job.input_format = std::make_shared<ColumnInputFormat>();
+  job.mapper = [](Record& record, Emitter* out) {
+    const Value* region = record.GetOrDie("attrs").FindMapEntry("region");
+    out->Emit(Value::String(region->string_value()),
+              Value::Double(record.GetOrDie("amount").double_value()));
+  };
+  job.reducer = [](const Value& key, const std::vector<Value>& values,
+                   Emitter* out) {
+    double total = 0;
+    for (const Value& v : values) total += v.double_value();
+    out->Emit(key, Value::Double(total));
+  };
+
+  JobRunner runner(fs.get());
+  JobReport report;
+  s = runner.Run(job, &report);
+  if (!s.ok()) {
+    std::fprintf(stderr, "job: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("revenue by region:\n");
+  for (const auto& [key, value] : report.output) {
+    std::printf("  %-6s %12.2f\n", key.string_value().c_str(),
+                value.double_value());
+  }
+  std::printf(
+      "job stats: %llu records mapped, %.2f MB read (%d/%d tasks "
+      "data-local), simulated map time %.3fs\n",
+      static_cast<unsigned long long>(report.map_input_records),
+      report.BytesRead() / 1e6, report.data_local_tasks,
+      static_cast<int>(report.map_tasks.size()), report.map_phase_seconds);
+  return 0;
+}

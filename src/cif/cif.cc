@@ -1,0 +1,216 @@
+#include "cif/cif.h"
+
+#include <algorithm>
+
+#include "cif/column_reader.h"
+#include "cif/lazy_record.h"
+#include "formats/text/text_format.h"
+#include "mapreduce/job.h"
+
+namespace colmr {
+
+namespace {
+
+/// Resolves the projected field list: configured names, or all fields.
+/// When tolerate_missing is set, projected names the schema lacks go to
+/// *missing (schema evolution: split-directories written before an
+/// AddColumn) instead of failing.
+Status ResolveProjection(const Schema& schema,
+                         const std::vector<std::string>& names,
+                         bool tolerate_missing, std::vector<int>* indices,
+                         std::vector<std::string>* missing) {
+  indices->clear();
+  if (missing != nullptr) missing->clear();
+  if (names.empty()) {
+    for (size_t i = 0; i < schema.fields().size(); ++i) {
+      indices->push_back(static_cast<int>(i));
+    }
+    return Status::OK();
+  }
+  for (const std::string& name : names) {
+    const int index = schema.FieldIndex(name);
+    if (index < 0) {
+      if (tolerate_missing) {
+        if (missing != nullptr) missing->push_back(name);
+        continue;
+      }
+      return Status::InvalidArgument("cif: unknown projected column " + name);
+    }
+    indices->push_back(index);
+  }
+  std::sort(indices->begin(), indices->end());
+  return Status::OK();
+}
+
+/// Delegating record that answers Get() for evolved-away columns with
+/// Null, forwarding everything else to the split's real record.
+class NullPaddingRecord final : public Record {
+ public:
+  NullPaddingRecord(Record* inner, std::vector<std::string> missing)
+      : inner_(inner), missing_(std::move(missing)) {}
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+  Status Get(std::string_view name, const Value** value) override {
+    for (const std::string& m : missing_) {
+      if (m == name) {
+        *value = &null_;
+        return Status::OK();
+      }
+    }
+    return inner_->Get(name, value);
+  }
+
+ private:
+  Record* inner_;
+  std::vector<std::string> missing_;
+  Value null_;
+};
+
+class CifRecordReader final : public RecordReader {
+ public:
+  CifRecordReader(Schema::Ptr schema, std::vector<int> projection,
+                  std::vector<std::unique_ptr<ColumnFileReader>> columns,
+                  bool lazy, std::vector<std::string> missing_columns)
+      : schema_(schema),
+        projection_(std::move(projection)),
+        columns_(std::move(columns)),
+        lazy_(lazy),
+        eager_record_(schema_, Value::Null()) {
+    row_count_ = columns_.empty() ? 0 : columns_.front()->row_count();
+    for (const auto& column : columns_) {
+      if (column->row_count() != row_count_) {
+        status_ = Status::Corruption(
+            "cif: column files disagree on row count");
+      }
+    }
+    std::vector<ColumnFileReader*> by_field(schema_->fields().size(), nullptr);
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      by_field[projection_[p]] = columns_[p].get();
+    }
+    lazy_record_ =
+        std::make_unique<LazyRecord>(schema_, std::move(by_field));
+    if (!missing_columns.empty()) {
+      eager_padded_ = std::make_unique<NullPaddingRecord>(&eager_record_,
+                                                          missing_columns);
+      lazy_padded_ = std::make_unique<NullPaddingRecord>(
+          lazy_record_.get(), std::move(missing_columns));
+    }
+  }
+
+  bool Next() override {
+    if (!status_.ok()) return false;
+    if (row_ + 1 >= static_cast<int64_t>(row_count_)) return false;
+    ++row_;
+    if (lazy_) {
+      lazy_record_->AdvanceTo(static_cast<uint64_t>(row_));
+      return true;
+    }
+    // Eager: materialize every projected column now.
+    std::vector<Value> values(schema_->fields().size());
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      status_ = columns_[p]->ReadValue(&values[projection_[p]]);
+      if (!status_.ok()) return false;
+    }
+    eager_record_ = EagerRecord(schema_, Value::Record(std::move(values)));
+    return true;
+  }
+
+  Record& record() override {
+    if (lazy_) {
+      return lazy_padded_ ? static_cast<Record&>(*lazy_padded_)
+                          : *lazy_record_;
+    }
+    return eager_padded_ ? static_cast<Record&>(*eager_padded_)
+                         : eager_record_;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  Schema::Ptr schema_;
+  std::vector<int> projection_;
+  std::vector<std::unique_ptr<ColumnFileReader>> columns_;
+  bool lazy_;
+  uint64_t row_count_ = 0;
+  int64_t row_ = -1;
+  EagerRecord eager_record_;
+  std::unique_ptr<LazyRecord> lazy_record_;
+  std::unique_ptr<NullPaddingRecord> eager_padded_;
+  std::unique_ptr<NullPaddingRecord> lazy_padded_;
+  Status status_;
+};
+
+}  // namespace
+
+Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                    std::vector<InputSplit>* splits) {
+  splits->clear();
+  for (const std::string& base : config.input_paths) {
+    std::vector<std::string> children;
+    COLMR_RETURN_IF_ERROR(fs->ListDir(base, &children));
+    for (const std::string& child : children) {
+      if (child.empty() || child[0] != 's') continue;
+      const std::string dir = base + "/" + child;
+      Schema::Ptr schema;
+      COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+      std::vector<int> projection;
+      COLMR_RETURN_IF_ERROR(ResolveProjection(
+          *schema, config.projection, config.null_for_missing_columns,
+          &projection, nullptr));
+
+      InputSplit split;
+      for (int c : projection) {
+        split.paths.push_back(dir + "/" + schema->fields()[c].name + ".col");
+      }
+      for (const std::string& path : split.paths) {
+        uint64_t size = 0;
+        COLMR_RETURN_IF_ERROR(fs->GetFileSize(path, &size));
+        split.length += size;
+      }
+      split.locations = fs->CommonReplicaNodes(split.paths);
+      splits->push_back(std::move(split));
+    }
+  }
+  if (splits->empty()) {
+    return Status::NotFound("cif: no split-directories found");
+  }
+  return Status::OK();
+}
+
+Status ColumnInputFormat::CreateRecordReader(
+    MiniHdfs* fs, const JobConfig& config, const InputSplit& split,
+    const ReadContext& context, std::unique_ptr<RecordReader>* reader) {
+  if (split.paths.empty()) {
+    return Status::InvalidArgument("cif: empty split");
+  }
+  const std::string& first = split.paths.front();
+  const std::string dir = first.substr(0, first.rfind('/'));
+  Schema::Ptr schema;
+  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+  std::vector<int> projection;
+  std::vector<std::string> missing;
+  COLMR_RETURN_IF_ERROR(ResolveProjection(*schema, config.projection,
+                                          config.null_for_missing_columns,
+                                          &projection, &missing));
+
+  if (projection.empty() && !missing.empty()) {
+    // Row counts come from the projected column files, so a split must
+    // retain at least one projected column even under evolution tolerance.
+    return Status::InvalidArgument(
+        "cif: every projected column is missing from " + dir);
+  }
+  std::vector<std::unique_ptr<ColumnFileReader>> columns;
+  for (int c : projection) {
+    std::unique_ptr<ColumnFileReader> column;
+    COLMR_RETURN_IF_ERROR(ColumnFileReader::Open(
+        fs, dir + "/" + schema->fields()[c].name + ".col", context, &column));
+    columns.push_back(std::move(column));
+  }
+  reader->reset(new CifRecordReader(std::move(schema), std::move(projection),
+                                    std::move(columns), config.lazy_records,
+                                    std::move(missing)));
+  return Status::OK();
+}
+
+}  // namespace colmr

@@ -1,0 +1,69 @@
+#ifndef COLMR_CIF_COF_H_
+#define COLMR_CIF_COF_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cif/column_writer.h"
+#include "cif/options.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/output_format.h"
+
+namespace colmr {
+
+/// ColumnOutputFormat (paper Section 4.2, Fig. 4): loads a dataset into a
+/// directory of split-directories `s0, s1, …`, each holding one column
+/// file per top-level field plus a `_schema` file. Split-directories roll
+/// over every CofOptions::split_target_bytes of raw data, and their file
+/// names follow the `s<digits>` convention the ColumnPlacementPolicy keys
+/// on — writing through a MiniHdfs configured with CPP therefore
+/// co-locates each split-directory's columns automatically.
+class CofWriter final : public DatasetWriter {
+ public:
+  static Status Open(MiniHdfs* fs, const std::string& base_dir,
+                     Schema::Ptr schema, const CofOptions& options,
+                     std::unique_ptr<CofWriter>* writer);
+
+  Status WriteRecord(const Value& record) override;
+  Status Close() override;
+  uint64_t record_count() const override { return records_; }
+
+  /// Split-directories written (after Close()).
+  int split_count() const { return split_index_; }
+
+ private:
+  CofWriter(MiniHdfs* fs, std::string base_dir, Schema::Ptr schema,
+            CofOptions options);
+
+  Status OpenSplit();
+  Status CloseSplit();
+  uint64_t SplitRawBytes() const;
+
+  MiniHdfs* fs_;
+  std::string base_dir_;
+  Schema::Ptr schema_;
+  CofOptions options_;
+  uint64_t records_ = 0;
+  int split_index_ = 0;
+  bool split_open_ = false;
+  std::vector<std::unique_ptr<ColumnFileWriter>> columns_;
+};
+
+/// Path of the index-th split-directory under base_dir ("<base>/s<index>").
+std::string SplitDirName(const std::string& base_dir, int index);
+
+/// Appends a derived column to every split-directory of an existing CIF
+/// dataset — the cheap "adding a column" operation that RCFile cannot do
+/// without rewriting the dataset (paper Section 4.3). `compute` maps each
+/// existing record (all original columns materialized) to the new
+/// column's value.
+Status AddColumn(MiniHdfs* fs, const std::string& base_dir,
+                 const std::string& column_name, Schema::Ptr column_type,
+                 const ColumnOptions& column_options,
+                 const std::function<Value(const Value& record)>& compute);
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_COF_H_

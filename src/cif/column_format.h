@@ -1,0 +1,27 @@
+#ifndef COLMR_CIF_COLUMN_FORMAT_H_
+#define COLMR_CIF_COLUMN_FORMAT_H_
+
+#include <cstdint>
+
+namespace colmr {
+
+// Shared on-disk constants of the CIF column file format.
+
+inline constexpr char kCifColumnMagic[4] = {'C', 'O', 'L', '1'};
+
+/// Skip-list intervals (paper Section 5.2: "N is typically configured for
+/// 10, 100, and 1000 record skips").
+inline constexpr uint64_t kCifSkip0 = 10;
+inline constexpr uint64_t kCifSkip1 = 100;
+inline constexpr uint64_t kCifSkip2 = 1000;
+
+/// Rows covered by one DCSL dictionary block (aligned with kCifSkip2 so
+/// dictionary blocks sit on skip1000 boundaries).
+inline constexpr uint64_t kCifDictInterval = 1000;
+
+/// Conventional file names inside a split-directory.
+inline constexpr char kCifSchemaFileName[] = "_schema";
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_COLUMN_FORMAT_H_

@@ -1,0 +1,304 @@
+#include "cif/column_reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cif/column_format.h"
+#include "common/coding.h"
+#include "serde/encoding.h"
+
+namespace colmr {
+
+namespace {
+
+/// Runs `decode` over a peeked window, growing the window while the
+/// failure could be truncation. On success consumes the decoded bytes.
+template <typename DecodeFn>
+Status DecodeWithRetry(BufferedReader* input, DecodeFn decode) {
+  size_t window = 4096;
+  for (;;) {
+    Slice view;
+    COLMR_RETURN_IF_ERROR(input->Peek(window, &view));
+    Slice cursor = view;
+    Status s = decode(&cursor);
+    if (s.ok()) {
+      input->Consume(cursor.data() - view.data());
+      return Status::OK();
+    }
+    if (!s.IsCorruption() || view.size() >= input->Remaining()) {
+      return s;
+    }
+    window *= 2;
+  }
+}
+
+}  // namespace
+
+Status DecodeValueFromReader(const Schema& schema, BufferedReader* input,
+                             Value* out) {
+  return DecodeWithRetry(input, [&](Slice* cursor) {
+    return DecodeValue(schema, cursor, out);
+  });
+}
+
+Status SkipValueFromReader(const Schema& schema, BufferedReader* input) {
+  return DecodeWithRetry(input, [&](Slice* cursor) {
+    return SkipValue(schema, cursor);
+  });
+}
+
+Status ColumnFileReader::Open(MiniHdfs* fs, const std::string& path,
+                              const ReadContext& context,
+                              std::unique_ptr<ColumnFileReader>* reader) {
+  std::unique_ptr<FileReader> raw;
+  COLMR_RETURN_IF_ERROR(fs->Open(path, context, &raw));
+  std::unique_ptr<ColumnFileReader> result(new ColumnFileReader());
+  result->input_ = std::make_unique<BufferedReader>(
+      std::move(raw), fs->config().io_buffer_size);
+  COLMR_RETURN_IF_ERROR(result->ParseHeader());
+  *reader = std::move(result);
+  return Status::OK();
+}
+
+Status ColumnFileReader::ParseHeader() {
+  Slice view;
+  COLMR_RETURN_IF_ERROR(input_->Peek(5, &view));
+  if (view.size() < 5 || memcmp(view.data(), kCifColumnMagic, 4) != 0) {
+    return Status::Corruption("cif column: bad magic");
+  }
+  layout_ = static_cast<ColumnLayout>(view[4]);
+  input_->Consume(5);
+  COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&row_count_));
+  uint64_t type_len;
+  COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&type_len));
+  std::string type_text;
+  COLMR_RETURN_IF_ERROR(input_->ReadBytes(type_len, &type_text));
+  COLMR_RETURN_IF_ERROR(Schema::Parse(type_text, &type_));
+  if (layout_ == ColumnLayout::kCompressedBlocks) {
+    std::string codec_byte;
+    COLMR_RETURN_IF_ERROR(input_->ReadBytes(1, &codec_byte));
+    codec_ = GetCodec(static_cast<CodecType>(codec_byte[0]));
+    if (codec_ == nullptr) return Status::Corruption("cif column: codec");
+    uint64_t block_size;
+    COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&block_size));
+  }
+  if (layout_ == ColumnLayout::kDictSkipList &&
+      type_->kind() != TypeKind::kMap) {
+    return Status::Corruption("cif column: DCSL requires map type");
+  }
+  return Status::OK();
+}
+
+Status ColumnFileReader::ConsumeBoundary() {
+  if (boundary_done_ || current_row_ % kCifSkip0 != 0 ||
+      current_row_ >= row_count_) {
+    return Status::OK();
+  }
+  if (layout_ == ColumnLayout::kDictSkipList &&
+      current_row_ % kCifDictInterval == 0) {
+    uint32_t dict_len;
+    COLMR_RETURN_IF_ERROR(input_->ReadFixed32(&dict_len));
+    Slice dict_bytes;
+    COLMR_RETURN_IF_ERROR(input_->Peek(dict_len, &dict_bytes));
+    if (dict_bytes.size() < dict_len) {
+      return Status::Corruption("cif column: truncated dictionary");
+    }
+    Slice cursor = dict_bytes.Prefix(dict_len);
+    COLMR_RETURN_IF_ERROR(dict_.Deserialize(&cursor));
+    input_->Consume(dict_len);
+  }
+  uint32_t entry;
+  if (current_row_ % kCifSkip2 == 0) {
+    COLMR_RETURN_IF_ERROR(input_->ReadFixed32(&entry));
+    skip1000_ = entry;
+  }
+  if (current_row_ % kCifSkip1 == 0) {
+    COLMR_RETURN_IF_ERROR(input_->ReadFixed32(&entry));
+    skip100_ = entry;
+  }
+  COLMR_RETURN_IF_ERROR(input_->ReadFixed32(&entry));
+  skip10_ = entry;
+  boundary_done_ = true;
+  return Status::OK();
+}
+
+Status ColumnFileReader::LoadBlock() {
+  uint64_t n_records, compressed_len;
+  COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&n_records));
+  COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&compressed_len));
+  Slice compressed;
+  COLMR_RETURN_IF_ERROR(input_->Peek(compressed_len, &compressed));
+  if (compressed.size() < compressed_len) {
+    return Status::Corruption("cif column: truncated block");
+  }
+  block_.Clear();
+  COLMR_RETURN_IF_ERROR(
+      codec_->Decompress(compressed.Prefix(compressed_len), &block_));
+  input_->Consume(compressed_len);
+  block_cursor_ = block_.AsSlice();
+  block_rows_left_ = n_records;
+  block_loaded_ = true;
+  return Status::OK();
+}
+
+Status ColumnFileReader::ReadDcslValue(Value* out) {
+  return DecodeWithRetry(input_.get(), [&](Slice* cursor) -> Status {
+    uint64_t count;
+    COLMR_RETURN_IF_ERROR(GetVarint64(cursor, &count));
+    COLMR_RETURN_IF_ERROR(CheckContainerCount(count, cursor->size()));
+    Value::MapEntries entries;
+    entries.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id;
+      COLMR_RETURN_IF_ERROR(GetVarint64(cursor, &id));
+      if (id >= dict_.size()) {
+        return Status::Corruption("cif column: dictionary id out of range");
+      }
+      Value v;
+      COLMR_RETURN_IF_ERROR(DecodeValue(*type_->element(), cursor, &v));
+      entries.emplace_back(dict_.Lookup(static_cast<uint32_t>(id)),
+                           std::move(v));
+    }
+    *out = Value::Map(std::move(entries));
+    return Status::OK();
+  });
+}
+
+Status ColumnFileReader::SkipOneValue() {
+  switch (layout_) {
+    case ColumnLayout::kDictSkipList:
+      return DecodeWithRetry(input_.get(), [&](Slice* cursor) -> Status {
+        uint64_t count;
+        COLMR_RETURN_IF_ERROR(GetVarint64(cursor, &count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t id;
+          COLMR_RETURN_IF_ERROR(GetVarint64(cursor, &id));
+          COLMR_RETURN_IF_ERROR(SkipValue(*type_->element(), cursor));
+        }
+        return Status::OK();
+      });
+    default:
+      return SkipValueFromReader(*type_, input_.get());
+  }
+}
+
+Status ColumnFileReader::ReadValue(Value* out) {
+  if (current_row_ >= row_count_) {
+    return Status::OutOfRange("cif column: past end");
+  }
+  switch (layout_) {
+    case ColumnLayout::kPlain:
+      COLMR_RETURN_IF_ERROR(DecodeValueFromReader(*type_, input_.get(), out));
+      break;
+    case ColumnLayout::kSkipList:
+      COLMR_RETURN_IF_ERROR(ConsumeBoundary());
+      COLMR_RETURN_IF_ERROR(DecodeValueFromReader(*type_, input_.get(), out));
+      break;
+    case ColumnLayout::kDictSkipList:
+      COLMR_RETURN_IF_ERROR(ConsumeBoundary());
+      COLMR_RETURN_IF_ERROR(ReadDcslValue(out));
+      break;
+    case ColumnLayout::kCompressedBlocks: {
+      if (!block_loaded_) {
+        COLMR_RETURN_IF_ERROR(LoadBlock());
+      }
+      COLMR_RETURN_IF_ERROR(DecodeValue(*type_, &block_cursor_, out));
+      if (--block_rows_left_ == 0) block_loaded_ = false;
+      break;
+    }
+  }
+  ++current_row_;
+  if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
+  return Status::OK();
+}
+
+Status ColumnFileReader::SkipRows(uint64_t n) {
+  n = std::min(n, row_count_ - current_row_);
+  if (layout_ == ColumnLayout::kCompressedBlocks) {
+    while (n > 0) {
+      if (block_loaded_) {
+        // Drain or finish the current (already decompressed) block.
+        const uint64_t take = std::min(n, block_rows_left_);
+        for (uint64_t i = 0; i < take; ++i) {
+          COLMR_RETURN_IF_ERROR(SkipValue(*type_, &block_cursor_));
+        }
+        block_rows_left_ -= take;
+        if (block_rows_left_ == 0) block_loaded_ = false;
+        current_row_ += take;
+        n -= take;
+        continue;
+      }
+      // At a block header: skip whole blocks without decompressing —
+      // the lazy-decompression payoff of the block layout.
+      uint64_t n_records, compressed_len;
+      COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&n_records));
+      COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&compressed_len));
+      if (n >= n_records) {
+        COLMR_RETURN_IF_ERROR(input_->Skip(compressed_len));
+        current_row_ += n_records;
+        n -= n_records;
+      } else {
+        // Partial skip: the block must be decompressed to find value
+        // boundaries.
+        Slice compressed;
+        COLMR_RETURN_IF_ERROR(input_->Peek(compressed_len, &compressed));
+        if (compressed.size() < compressed_len) {
+          return Status::Corruption("cif column: truncated block");
+        }
+        block_.Clear();
+        COLMR_RETURN_IF_ERROR(
+            codec_->Decompress(compressed.Prefix(compressed_len), &block_));
+        input_->Consume(compressed_len);
+        block_cursor_ = block_.AsSlice();
+        block_rows_left_ = n_records;
+        block_loaded_ = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  const bool has_skip_list = layout_ == ColumnLayout::kSkipList ||
+                             layout_ == ColumnLayout::kDictSkipList;
+  while (n > 0) {
+    if (has_skip_list && current_row_ % kCifSkip0 == 0 && !boundary_done_ &&
+        current_row_ < row_count_) {
+      COLMR_RETURN_IF_ERROR(ConsumeBoundary());
+      if (n >= kCifSkip2 && current_row_ % kCifSkip2 == 0 &&
+          current_row_ + kCifSkip2 <= row_count_) {
+        COLMR_RETURN_IF_ERROR(input_->Skip(skip1000_));
+        current_row_ += kCifSkip2;
+        n -= kCifSkip2;
+        boundary_done_ = false;
+        continue;
+      }
+      if (n >= kCifSkip1 && current_row_ % kCifSkip1 == 0 &&
+          current_row_ + kCifSkip1 <= row_count_) {
+        COLMR_RETURN_IF_ERROR(input_->Skip(skip100_));
+        current_row_ += kCifSkip1;
+        n -= kCifSkip1;
+        boundary_done_ = false;
+        continue;
+      }
+      if (n >= kCifSkip0 && current_row_ + kCifSkip0 <= row_count_) {
+        COLMR_RETURN_IF_ERROR(input_->Skip(skip10_));
+        current_row_ += kCifSkip0;
+        n -= kCifSkip0;
+        boundary_done_ = false;
+        continue;
+      }
+    }
+    // Value-by-value: decode lengths but do not materialize (this is all
+    // a plain column can do — "each record is skipped individually,
+    // resulting in no deserialization or I/O savings").
+    if (has_skip_list) {
+      COLMR_RETURN_IF_ERROR(ConsumeBoundary());
+    }
+    COLMR_RETURN_IF_ERROR(SkipOneValue());
+    ++current_row_;
+    if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
+    --n;
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

@@ -1,0 +1,85 @@
+#ifndef COLMR_CIF_COLUMN_READER_H_
+#define COLMR_CIF_COLUMN_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "cif/options.h"
+#include "common/buffer.h"
+#include "compress/dictionary.h"
+#include "hdfs/reader.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+/// Decodes one value of `schema` at the reader's cursor, growing the peek
+/// window until the value fits. Consumes exactly the value's bytes.
+Status DecodeValueFromReader(const Schema& schema, BufferedReader* input,
+                             Value* out);
+
+/// Advances the reader past one encoded value without materializing it.
+Status SkipValueFromReader(const Schema& schema, BufferedReader* input);
+
+/// Reads one CIF column file, in any of the four layouts. The reader is a
+/// cursor over rows: ReadValue() materializes the value at the current row
+/// and advances; SkipRows(n) advances without materializing — through skip
+/// blocks, whole compressed blocks, or value-by-value byte skipping,
+/// depending on the layout. This is the skip() primitive LazyRecord calls
+/// as skip(curPos - lastPos) (paper Section 5.2).
+class ColumnFileReader {
+ public:
+  static Status Open(MiniHdfs* fs, const std::string& path,
+                     const ReadContext& context,
+                     std::unique_ptr<ColumnFileReader>* reader);
+
+  ColumnFileReader(const ColumnFileReader&) = delete;
+  ColumnFileReader& operator=(const ColumnFileReader&) = delete;
+
+  /// Materializes the value at the current row and advances one row.
+  Status ReadValue(Value* out);
+
+  /// Advances n rows (clamped to the end) without materializing values.
+  Status SkipRows(uint64_t n);
+
+  uint64_t row_count() const { return row_count_; }
+  uint64_t current_row() const { return current_row_; }
+  const Schema::Ptr& type() const { return type_; }
+  ColumnLayout layout() const { return layout_; }
+
+ private:
+  ColumnFileReader() = default;
+
+  Status ParseHeader();
+  /// Skip-list layouts: parses the boundary structure (dictionary block +
+  /// skip entries) when the cursor sits on one.
+  Status ConsumeBoundary();
+  /// Block layout: reads the next block header and decompresses it.
+  Status LoadBlock();
+  Status ReadDcslValue(Value* out);
+  Status SkipOneValue();
+
+  std::unique_ptr<BufferedReader> input_;
+  Schema::Ptr type_;
+  ColumnLayout layout_ = ColumnLayout::kPlain;
+  uint64_t row_count_ = 0;
+  uint64_t current_row_ = 0;
+
+  // Skip-list state.
+  bool boundary_done_ = false;
+  uint64_t skip10_ = 0;
+  uint64_t skip100_ = 0;
+  uint64_t skip1000_ = 0;
+  StringDictionary dict_;  // DCSL: dictionary of the current 1000-row group
+
+  // Compressed-block state.
+  const Codec* codec_ = nullptr;
+  bool block_loaded_ = false;
+  Buffer block_;
+  Slice block_cursor_;
+  uint64_t block_rows_left_ = 0;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_COLUMN_READER_H_

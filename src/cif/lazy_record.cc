@@ -1,0 +1,38 @@
+#include "cif/lazy_record.h"
+
+namespace colmr {
+
+LazyRecord::LazyRecord(Schema::Ptr schema,
+                       std::vector<ColumnFileReader*> columns)
+    : schema_(std::move(schema)) {
+  columns_.resize(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    columns_[i].reader = columns[i];
+  }
+}
+
+Status LazyRecord::Get(std::string_view name, const Value** value) {
+  const int index = schema_->FieldIndex(std::string(name));
+  if (index < 0) {
+    return Status::NotFound("no such field: " + std::string(name));
+  }
+  ColumnState& column = columns_[index];
+  if (column.reader == nullptr) {
+    return Status::NotFound("field not in projection: " + std::string(name));
+  }
+  if (column.cached_row != cur_pos_) {
+    // lastPos (reader->current_row()) lags curPos by however many records
+    // the map function never touched; skip them in one jump.
+    const uint64_t last_pos = column.reader->current_row();
+    if (last_pos > cur_pos_) {
+      return Status::InvalidArgument("lazy record: column past cur_pos");
+    }
+    COLMR_RETURN_IF_ERROR(column.reader->SkipRows(cur_pos_ - last_pos));
+    COLMR_RETURN_IF_ERROR(column.reader->ReadValue(&column.cached));
+    column.cached_row = cur_pos_;
+  }
+  *value = &column.cached;
+  return Status::OK();
+}
+
+}  // namespace colmr

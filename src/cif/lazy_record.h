@@ -1,0 +1,46 @@
+#ifndef COLMR_CIF_LAZY_RECORD_H_
+#define COLMR_CIF_LAZY_RECORD_H_
+
+#include <memory>
+#include <vector>
+
+#include "cif/column_reader.h"
+#include "serde/record.h"
+
+namespace colmr {
+
+/// Lazy record construction (paper Section 5.1, Fig. 5). The reader holds
+/// one split-level position, curPos, advanced by the RecordReader on every
+/// Next(); each column file keeps its own lastPos (the ColumnFileReader's
+/// current row). Nothing is read or deserialized until the map function
+/// calls Get(): the column then skips curPos - lastPos rows — through its
+/// skip list if it has one — and deserializes exactly one value.
+class LazyRecord final : public Record {
+ public:
+  /// Column readers are owned by the caller (the CIF RecordReader) and
+  /// must outlive the LazyRecord; index i corresponds to schema field i,
+  /// nullptr for fields outside the projection.
+  LazyRecord(Schema::Ptr schema, std::vector<ColumnFileReader*> columns);
+
+  const Schema& schema() const override { return *schema_; }
+  Status Get(std::string_view name, const Value** value) override;
+
+  /// Advances the split-level position. Does no I/O.
+  void AdvanceTo(uint64_t row) { cur_pos_ = row; }
+  uint64_t cur_pos() const { return cur_pos_; }
+
+ private:
+  struct ColumnState {
+    ColumnFileReader* reader = nullptr;
+    Value cached;
+    uint64_t cached_row = UINT64_MAX;
+  };
+
+  Schema::Ptr schema_;
+  std::vector<ColumnState> columns_;
+  uint64_t cur_pos_ = 0;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_LAZY_RECORD_H_

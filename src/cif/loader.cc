@@ -1,0 +1,47 @@
+#include "cif/loader.h"
+
+#include "mapreduce/job.h"
+
+namespace colmr {
+
+Status MaterializeRecord(Record* record, Value* out) {
+  const Schema& schema = record->schema();
+  std::vector<Value> values;
+  values.reserve(schema.fields().size());
+  for (const auto& field : schema.fields()) {
+    const Value* value = nullptr;
+    Status s = record->Get(field.name, &value);
+    if (s.ok()) {
+      values.push_back(*value);
+    } else if (s.IsNotFound()) {
+      values.push_back(Value::Null());
+    } else {
+      return s;
+    }
+  }
+  *out = Value::Record(std::move(values));
+  return Status::OK();
+}
+
+Status CopyDataset(MiniHdfs* fs, InputFormat* input_format,
+                   const std::vector<std::string>& input_paths,
+                   DatasetWriter* out) {
+  JobConfig config;
+  config.input_paths = input_paths;
+  std::vector<InputSplit> splits;
+  COLMR_RETURN_IF_ERROR(input_format->GetSplits(fs, config, &splits));
+  for (const InputSplit& split : splits) {
+    std::unique_ptr<RecordReader> reader;
+    COLMR_RETURN_IF_ERROR(input_format->CreateRecordReader(
+        fs, config, split, ReadContext{}, &reader));
+    while (reader->Next()) {
+      Value record;
+      COLMR_RETURN_IF_ERROR(MaterializeRecord(&reader->record(), &record));
+      COLMR_RETURN_IF_ERROR(out->WriteRecord(record));
+    }
+    COLMR_RETURN_IF_ERROR(reader->status());
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

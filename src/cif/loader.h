@@ -1,0 +1,28 @@
+#ifndef COLMR_CIF_LOADER_H_
+#define COLMR_CIF_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/output_format.h"
+
+namespace colmr {
+
+/// Copies every record of a dataset into a DatasetWriter — the load
+/// utility of paper Appendix B.3 ("a parallel loader is used to load the
+/// data using COF"). Pairing any InputFormat with any DatasetWriter
+/// converts between all formats in the repository (TXT/SEQ/RCFile/CIF).
+/// Does not Close() the writer; the caller owns that.
+Status CopyDataset(MiniHdfs* fs, InputFormat* input_format,
+                   const std::vector<std::string>& input_paths,
+                   DatasetWriter* out);
+
+/// Fully materializes a Record into a record Value (all schema fields, in
+/// order). Fields outside the source's projection come back Null.
+Status MaterializeRecord(Record* record, Value* out);
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_LOADER_H_

@@ -1,0 +1,65 @@
+#ifndef COLMR_CIF_OPTIONS_H_
+#define COLMR_CIF_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compress/codec.h"
+
+namespace colmr {
+
+/// On-disk layout of one column file — the per-column design choices of
+/// paper Section 5: plain, skip list (Fig. 6), compressed blocks, or
+/// dictionary-compressed skip list (DCSL). Values are stable on-disk tags.
+enum class ColumnLayout : uint8_t {
+  /// Concatenated serialized values. Skipping a record decodes (without
+  /// materializing) its bytes.
+  kPlain = 0,
+  /// Values interleaved with skip blocks holding byte offsets for 10/100/
+  /// 1000-record jumps, so LazyRecord can skip without touching bytes.
+  kSkipList = 1,
+  /// Values grouped into codec-compressed blocks with
+  /// {record count, size} headers; unaccessed blocks are skipped without
+  /// decompression (lazy decompression, Section 5.3).
+  kCompressedBlocks = 2,
+  /// Skip-list layout for map columns in which keys are dictionary-coded
+  /// per 1000-record group: single values decode without decompressing
+  /// any block (DCSL, Section 5.3).
+  kDictSkipList = 3,
+};
+
+/// Per-column storage configuration.
+struct ColumnOptions {
+  ColumnLayout layout = ColumnLayout::kPlain;
+  /// Codec for kCompressedBlocks.
+  CodecType codec = CodecType::kLzf;
+  /// Raw bytes per compressed block (kCompressedBlocks). Set at load time;
+  /// trades compression ratio against decompression granularity.
+  uint64_t block_size = 64 * 1024;
+};
+
+/// Configuration of a COF load: split-directory sizing plus column
+/// layouts.
+struct CofOptions {
+  /// Raw (encoded) bytes per split-directory before a new one is started.
+  /// The paper sizes split-directories at c HDFS blocks for c columns;
+  /// scaled down here alongside the block size.
+  uint64_t split_target_bytes = 8ull << 20;
+
+  /// Layout applied to columns with no override.
+  ColumnOptions default_column;
+
+  /// Per-column overrides, keyed by field name — e.g. Table 1's layouts
+  /// apply DCSL to the metadata map only.
+  std::map<std::string, ColumnOptions> column_overrides;
+
+  const ColumnOptions& ForColumn(const std::string& name) const {
+    auto it = column_overrides.find(name);
+    return it == column_overrides.end() ? default_column : it->second;
+  }
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_CIF_OPTIONS_H_

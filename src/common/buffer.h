@@ -1,0 +1,44 @@
+#ifndef COLMR_COMMON_BUFFER_H_
+#define COLMR_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace colmr {
+
+/// A growable, owned byte buffer used as the output sink of the encoders
+/// and codecs. Thin wrapper over std::string so appends are amortized O(1)
+/// and the contents can be handed to file writers without copying.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  void Clear() { data_.clear(); }
+  bool empty() const { return data_.empty(); }
+  size_t size() const { return data_.size(); }
+  const char* data() const { return data_.data(); }
+  char* mutable_data() { return data_.data(); }
+
+  void Reserve(size_t n) { data_.reserve(n); }
+  void Resize(size_t n) { data_.resize(n); }
+
+  void Append(const char* data, size_t n) { data_.append(data, n); }
+  void Append(Slice s) { data_.append(s.data(), s.size()); }
+  void PushBack(char c) { data_.push_back(c); }
+
+  Slice AsSlice() const { return Slice(data_.data(), data_.size()); }
+
+  /// Moves the contents out, leaving the buffer empty.
+  std::string TakeString() { return std::move(data_); }
+  const std::string& str() const { return data_; }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_BUFFER_H_

@@ -1,0 +1,131 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace colmr {
+
+void PutVarint32(Buffer* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(Buffer* dst, uint64_t value) {
+  char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->Append(buf, n);
+}
+
+void PutZigZag32(Buffer* dst, int32_t value) {
+  PutVarint64(dst, ZigZagEncode32(value));
+}
+
+void PutZigZag64(Buffer* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode64(value));
+}
+
+void PutFixed32(Buffer* dst, uint32_t value) {
+  char buf[4];
+  memcpy(buf, &value, 4);  // Little-endian host assumed (x86/ARM).
+  dst->Append(buf, 4);
+}
+
+void PutFixed64(Buffer* dst, uint64_t value) {
+  char buf[8];
+  memcpy(buf, &value, 8);
+  dst->Append(buf, 8);
+}
+
+void PutDouble(Buffer* dst, double value) {
+  uint64_t bits;
+  memcpy(&bits, &value, 8);
+  PutFixed64(dst, bits);
+}
+
+void PutLengthPrefixed(Buffer* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->Append(value);
+}
+
+Status GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (input->empty()) return Status::Corruption("truncated varint");
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->RemovePrefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  COLMR_RETURN_IF_ERROR(GetVarint64(input, &v));
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status GetZigZag32(Slice* input, int32_t* value) {
+  uint32_t v;
+  COLMR_RETURN_IF_ERROR(GetVarint32(input, &v));
+  *value = ZigZagDecode32(v);
+  return Status::OK();
+}
+
+Status GetZigZag64(Slice* input, int64_t* value) {
+  uint64_t v;
+  COLMR_RETURN_IF_ERROR(GetVarint64(input, &v));
+  *value = ZigZagDecode64(v);
+  return Status::OK();
+}
+
+Status GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  memcpy(value, input->data(), 4);
+  input->RemovePrefix(4);
+  return Status::OK();
+}
+
+Status GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  memcpy(value, input->data(), 8);
+  input->RemovePrefix(8);
+  return Status::OK();
+}
+
+Status GetDouble(Slice* input, double* value) {
+  uint64_t bits;
+  COLMR_RETURN_IF_ERROR(GetFixed64(input, &bits));
+  memcpy(value, &bits, 8);
+  return Status::OK();
+}
+
+Status GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  COLMR_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("truncated length-prefixed bytes");
+  }
+  *value = input->Prefix(len);
+  input->RemovePrefix(len);
+  return Status::OK();
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace colmr

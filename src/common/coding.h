@@ -1,0 +1,58 @@
+#ifndef COLMR_COMMON_CODING_H_
+#define COLMR_COMMON_CODING_H_
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace colmr {
+
+// Binary integer coding used throughout the storage formats. Variable-length
+// integers follow the LEB128 layout (7 payload bits per byte, high bit =
+// continuation); signed values are zigzag-mapped first, matching Avro's wire
+// format. Fixed-width values are little-endian.
+
+/// Maps a signed value onto an unsigned one so small magnitudes stay small:
+/// 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+inline uint32_t ZigZagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+inline int32_t ZigZagDecode32(uint32_t v) {
+  return static_cast<int32_t>(v >> 1) ^ -static_cast<int32_t>(v & 1);
+}
+
+void PutVarint32(Buffer* dst, uint32_t value);
+void PutVarint64(Buffer* dst, uint64_t value);
+void PutZigZag32(Buffer* dst, int32_t value);
+void PutZigZag64(Buffer* dst, int64_t value);
+void PutFixed32(Buffer* dst, uint32_t value);
+void PutFixed64(Buffer* dst, uint64_t value);
+void PutDouble(Buffer* dst, double value);
+/// Writes varint length followed by the bytes.
+void PutLengthPrefixed(Buffer* dst, Slice value);
+
+/// Each Get* consumes the decoded bytes from the front of *input.
+/// Returns Corruption if the input is truncated or malformed.
+Status GetVarint32(Slice* input, uint32_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+Status GetZigZag32(Slice* input, int32_t* value);
+Status GetZigZag64(Slice* input, int64_t* value);
+Status GetFixed32(Slice* input, uint32_t* value);
+Status GetFixed64(Slice* input, uint64_t* value);
+Status GetDouble(Slice* input, double* value);
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Number of bytes PutVarint64 would emit for value.
+int VarintLength(uint64_t value);
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_CODING_H_

@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+namespace colmr {
+
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const CrcTable& Table() {
+  static const CrcTable* table = new CrcTable();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, Slice data) {
+  const CrcTable& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < data.size(); ++i) {
+    crc = table.entries[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(Slice data) { return Crc32Extend(0, data); }
+
+}  // namespace colmr

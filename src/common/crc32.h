@@ -1,0 +1,20 @@
+#ifndef COLMR_COMMON_CRC32_H_
+#define COLMR_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace colmr {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used by the storage formats
+/// to checksum sync markers and compressed blocks.
+uint32_t Crc32(Slice data);
+
+/// Incremental form: extends the checksum `crc` with `data`.
+/// Crc32(ab) == Crc32Extend(Crc32(a), b).
+uint32_t Crc32Extend(uint32_t crc, Slice data);
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_CRC32_H_

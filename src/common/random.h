@@ -1,0 +1,56 @@
+#ifndef COLMR_COMMON_RANDOM_H_
+#define COLMR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace colmr {
+
+/// Deterministic pseudo-random generator (xorshift128+). All workload
+/// generators seed from this so datasets are reproducible across runs,
+/// which the tests and benchmark comparisons rely on.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  double NextDouble();  // Uniform in [0, 1).
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random printable-ASCII string with length uniform in [min_len, max_len].
+  std::string NextString(size_t min_len, size_t max_len);
+  /// Random lowercase-alpha string of exactly len characters.
+  std::string NextWord(size_t len);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed integers over [0, n). Used to give workload columns the
+/// skewed value frequencies (common keys, hot URLs) that make dictionary
+/// compression effective, as in the paper's crawl data.
+class Zipf {
+ public:
+  /// theta in (0, 1): higher is more skewed.
+  Zipf(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef COLMR_COMMON_SLICE_H_
+#define COLMR_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace colmr {
+
+/// A non-owning view of a byte range. Like std::string_view, but with the
+/// pointer-advancing helpers the decoders in this library rely on. The
+/// referenced bytes must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit construction from the common string types is intentional:
+  /// Slice is this library's parameter vocabulary type.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the first n bytes as a sub-slice.
+  Slice Prefix(size_t n) const {
+    assert(n <= size_);
+    return Slice(data_, n);
+  }
+
+  /// Returns the sub-slice [offset, offset + n).
+  Slice SubSlice(size_t offset, size_t n) const {
+    assert(offset + n <= size_);
+    return Slice(data_ + offset, n);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_SLICE_H_

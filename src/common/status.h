@@ -1,0 +1,89 @@
+#ifndef COLMR_COMMON_STATUS_H_
+#define COLMR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace colmr {
+
+/// Result of a fallible operation. The library does not use exceptions;
+/// every operation that can fail returns a Status (RocksDB convention).
+/// Outputs are passed through pointer parameters.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kCorruption,
+    kIoError,
+    kNotSupported,
+    kOutOfRange,
+  };
+
+  /// Default-constructed Status is success.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logging and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status.
+#define COLMR_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::colmr::Status _s = (expr);                     \
+    if (!_s.ok()) return _s;                         \
+  } while (0)
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_STATUS_H_

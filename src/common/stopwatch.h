@@ -1,0 +1,28 @@
+#ifndef COLMR_COMMON_STOPWATCH_H_
+#define COLMR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace colmr {
+
+/// Monotonic wall-clock timer used to measure the CPU-bound portions of
+/// tasks. (Tasks run single-threaded, so wall time == CPU time up to noise;
+/// the I/O side is accounted separately through hdfs::IoStats.)
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_STOPWATCH_H_

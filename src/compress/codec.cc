@@ -1,0 +1,66 @@
+#include "compress/codec.h"
+
+#include "common/coding.h"
+#include "compress/lzf.h"
+#include "compress/zlite.h"
+
+namespace colmr {
+
+namespace {
+
+/// Pass-through codec so callers can treat "no compression" uniformly.
+class NoneCodec final : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kNone; }
+  std::string name() const override { return "none"; }
+
+  Status Compress(Slice input, Buffer* output) const override {
+    PutVarint64(output, input.size());
+    output->Append(input);
+    return Status::OK();
+  }
+
+  Status Decompress(Slice input, Buffer* output) const override {
+    uint64_t raw_size;
+    COLMR_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+    if (input.size() != raw_size) {
+      return Status::Corruption("none codec: size mismatch");
+    }
+    output->Append(input);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec* GetCodec(CodecType type) {
+  // Leaked singletons: codecs are stateless and live for the process
+  // (trivially-destructible-global rule).
+  static const NoneCodec* none = new NoneCodec();
+  static const LzfCodec* lzf = new LzfCodec();
+  static const ZliteCodec* zlite = new ZliteCodec();
+  switch (type) {
+    case CodecType::kNone:
+      return none;
+    case CodecType::kLzf:
+      return lzf;
+    case CodecType::kZlite:
+      return zlite;
+  }
+  return nullptr;
+}
+
+Status CodecTypeFromName(const std::string& name, CodecType* type) {
+  if (name == "none") {
+    *type = CodecType::kNone;
+  } else if (name == "lzf" || name == "lzo") {
+    *type = CodecType::kLzf;
+  } else if (name == "zlite" || name == "zlib") {
+    *type = CodecType::kZlite;
+  } else {
+    return Status::InvalidArgument("unknown codec: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

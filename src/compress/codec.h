@@ -1,0 +1,53 @@
+#ifndef COLMR_COMPRESS_CODEC_H_
+#define COLMR_COMPRESS_CODEC_H_
+
+#include <string>
+
+#include "common/buffer.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace colmr {
+
+/// Identifies a compression scheme in file headers. Values are stable
+/// on-disk identifiers; do not renumber.
+enum class CodecType : uint8_t {
+  kNone = 0,
+  /// Byte-aligned LZ77 with an 8 KB window. Fast decompression, moderate
+  /// ratio — this library's stand-in for LZO (paper Section 3.3).
+  kLzf = 1,
+  /// LZSS with a 64 KB window plus canonical-Huffman-coded literals.
+  /// Better ratio, markedly slower decompression — the ZLIB stand-in.
+  kZlite = 2,
+};
+
+/// A block compressor. Implementations are stateless and thread-compatible;
+/// a single instance may be shared across readers.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecType type() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Appends the compressed representation of input to *output. The
+  /// representation is self-delimiting (it records the raw size), so
+  /// Decompress needs no out-of-band length.
+  virtual Status Compress(Slice input, Buffer* output) const = 0;
+
+  /// Appends the decompressed bytes to *output. Returns Corruption if the
+  /// input is not a valid compressed block.
+  virtual Status Decompress(Slice input, Buffer* output) const = 0;
+};
+
+/// Returns the process-wide instance for the given type, or nullptr for an
+/// unknown type. kNone returns a pass-through codec.
+const Codec* GetCodec(CodecType type);
+
+/// Parses "none" / "lzf" / "zlite" (the names used in schema files and
+/// bench flags).
+Status CodecTypeFromName(const std::string& name, CodecType* type);
+
+}  // namespace colmr
+
+#endif  // COLMR_COMPRESS_CODEC_H_

@@ -1,0 +1,142 @@
+#include "compress/lzf.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace colmr {
+
+// Compressed layout: varint raw_size, then a token stream.
+//   Control byte c:
+//     c < 0x20            -> literal run of (c + 1) bytes follows.
+//     c >= 0x20           -> back-reference. len3 = c >> 5 (1..7).
+//                            If len3 == 7 an extra byte extends the length.
+//                            Match length = len3 + 2 (3..264).
+//                            Distance = (((c & 0x1f) << 8) | next_byte) + 1.
+namespace {
+
+constexpr size_t kWindowSize = 8192;       // Max back-reference distance.
+constexpr size_t kMaxLiteralRun = 32;      // 5-bit literal run length.
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 264;          // 7 + 255 + 2.
+constexpr size_t kHashBits = 14;
+
+inline uint32_t HashTriple(const uint8_t* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const uint8_t* start, size_t count, Buffer* out) {
+  while (count > 0) {
+    const size_t run = count < kMaxLiteralRun ? count : kMaxLiteralRun;
+    out->PushBack(static_cast<char>(run - 1));
+    out->Append(reinterpret_cast<const char*>(start), run);
+    start += run;
+    count -= run;
+  }
+}
+
+}  // namespace
+
+Status LzfCodec::Compress(Slice input, Buffer* output) const {
+  PutVarint64(output, input.size());
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  if (n == 0) return Status::OK();
+
+  std::vector<int64_t> table(size_t{1} << kHashBits, -1);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  // Stop matching 4 bytes before the end: HashTriple reads 4 bytes.
+  const size_t match_limit = n >= 4 ? n - 4 : 0;
+
+  while (pos < match_limit) {
+    const uint32_t h = HashTriple(base + pos);
+    const int64_t candidate = table[h];
+    table[h] = static_cast<int64_t>(pos);
+
+    size_t match_len = 0;
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kWindowSize &&
+        static_cast<size_t>(candidate) < pos) {
+      const uint8_t* p = base + candidate;
+      const uint8_t* q = base + pos;
+      const size_t max_len = (n - pos) < kMaxMatch ? (n - pos) : kMaxMatch;
+      while (match_len < max_len && p[match_len] == q[match_len]) ++match_len;
+    }
+
+    if (match_len >= kMinMatch) {
+      FlushLiterals(base + literal_start, pos - literal_start, output);
+      const size_t distance = pos - static_cast<size_t>(candidate) - 1;
+      const size_t len3 = match_len - 2;  // 1..262
+      if (len3 < 7) {
+        output->PushBack(
+            static_cast<char>((len3 << 5) | (distance >> 8)));
+      } else {
+        output->PushBack(static_cast<char>((7u << 5) | (distance >> 8)));
+        output->PushBack(static_cast<char>(len3 - 7));
+      }
+      output->PushBack(static_cast<char>(distance & 0xff));
+      // Seed the hash table inside the match so later data can refer back
+      // into it; stride 2 keeps compression fast on long runs.
+      const size_t end = pos + match_len;
+      for (pos += 1; pos < end && pos < match_limit; pos += 2) {
+        table[HashTriple(base + pos)] = static_cast<int64_t>(pos);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(base + literal_start, n - literal_start, output);
+  return Status::OK();
+}
+
+Status LzfCodec::Decompress(Slice input, Buffer* output) const {
+  uint64_t raw_size;
+  COLMR_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+  const size_t out_start = output->size();
+  // Clamp the hint: raw_size is untrusted until decoding completes.
+  output->Reserve(out_start + std::min<uint64_t>(raw_size, 1 << 20));
+
+  while (!input.empty()) {
+    const uint8_t ctrl = static_cast<uint8_t>(input[0]);
+    input.RemovePrefix(1);
+    if (ctrl < 0x20) {
+      const size_t run = ctrl + 1;
+      if (input.size() < run) return Status::Corruption("lzf: literal run");
+      output->Append(input.data(), run);
+      input.RemovePrefix(run);
+    } else {
+      size_t len = ctrl >> 5;
+      if (len == 7) {
+        if (input.empty()) return Status::Corruption("lzf: length byte");
+        len += static_cast<uint8_t>(input[0]);
+        input.RemovePrefix(1);
+      }
+      len += 2;
+      if (input.empty()) return Status::Corruption("lzf: distance byte");
+      const size_t distance =
+          ((static_cast<size_t>(ctrl & 0x1f) << 8) |
+           static_cast<uint8_t>(input[0])) +
+          1;
+      input.RemovePrefix(1);
+      const size_t produced = output->size() - out_start;
+      if (distance > produced) return Status::Corruption("lzf: bad distance");
+      // Overlapping copies are the mechanism for run-length encoding, so
+      // copy byte-by-byte from the sliding window.
+      size_t src = output->size() - distance;
+      for (size_t i = 0; i < len; ++i) {
+        output->PushBack(output->data()[src + i]);
+      }
+    }
+  }
+  if (output->size() - out_start != raw_size) {
+    return Status::Corruption("lzf: size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

@@ -1,0 +1,22 @@
+#ifndef COLMR_COMPRESS_LZF_H_
+#define COLMR_COMPRESS_LZF_H_
+
+#include "compress/codec.h"
+
+namespace colmr {
+
+/// Byte-aligned LZ77 codec (LZF family). Tokens are either literal runs
+/// (1..32 bytes) or back-references with distances up to 8 KB and lengths
+/// up to 264 bytes, so decompression is a branch-light memcpy loop. Serves
+/// as the repository's LZO substitute: same ratio/CPU trade-off class.
+class LzfCodec final : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kLzf; }
+  std::string name() const override { return "lzf"; }
+  Status Compress(Slice input, Buffer* output) const override;
+  Status Decompress(Slice input, Buffer* output) const override;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMPRESS_LZF_H_

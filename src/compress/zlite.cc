@@ -1,0 +1,382 @@
+#include "compress/zlite.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace colmr {
+
+// Layout: varint raw_size, varint op_count, 128 bytes of literal code
+// lengths (256 nibbles), then a bitstream of ops:
+//   flag bit 0 -> Huffman-coded literal
+//   flag bit 1 -> match: length - kMinMatch in 5 bits, or 31 followed by
+//                 16 raw bits; then distance - 1 in 16 bits.
+namespace {
+
+constexpr size_t kWindowSize = 65536;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 8192;
+constexpr int kMaxCodeLen = 15;
+constexpr int kHashBits = 15;
+constexpr int kMaxChainDepth = 32;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(Buffer* out) : out_(out) {}
+
+  void Write(uint32_t bits, int count) {
+    acc_ |= static_cast<uint64_t>(bits) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_->PushBack(static_cast<char>(acc_ & 0xff));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->PushBack(static_cast<char>(acc_ & 0xff));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  Buffer* out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(Slice input) : input_(input) {}
+
+  // Returns false on underrun.
+  bool Read(int count, uint32_t* bits) {
+    while (filled_ < count) {
+      if (input_.empty()) return false;
+      acc_ |= static_cast<uint64_t>(static_cast<uint8_t>(input_[0]))
+              << filled_;
+      input_.RemovePrefix(1);
+      filled_ += 8;
+    }
+    *bits = static_cast<uint32_t>(acc_ & ((1ull << count) - 1));
+    acc_ >>= count;
+    filled_ -= count;
+    return true;
+  }
+
+  bool ReadBit(uint32_t* bit) { return Read(1, bit); }
+
+ private:
+  Slice input_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+// Computes Huffman code lengths (<= kMaxCodeLen) for 256 symbols from
+// frequencies. Symbols with zero frequency get length 0.
+void BuildCodeLengths(std::vector<uint64_t> freqs, int* lengths) {
+  struct Node {
+    uint64_t freq;
+    int index;  // < 256: leaf symbol; otherwise internal node id.
+  };
+  for (;;) {
+    std::fill(lengths, lengths + 256, 0);
+    int nonzero = 0;
+    int last = -1;
+    for (int i = 0; i < 256; ++i) {
+      if (freqs[i] > 0) {
+        ++nonzero;
+        last = i;
+      }
+    }
+    if (nonzero == 0) return;
+    if (nonzero == 1) {
+      lengths[last] = 1;
+      return;
+    }
+
+    auto cmp = [](const Node& a, const Node& b) { return a.freq > b.freq; };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    std::vector<std::pair<int, int>> children;  // internal node -> children
+    for (int i = 0; i < 256; ++i) {
+      if (freqs[i] > 0) heap.push({freqs[i], i});
+    }
+    while (heap.size() > 1) {
+      Node a = heap.top();
+      heap.pop();
+      Node b = heap.top();
+      heap.pop();
+      const int id = 256 + static_cast<int>(children.size());
+      children.push_back({a.index, b.index});
+      heap.push({a.freq + b.freq, id});
+    }
+    // Depth-first assignment of depths.
+    std::vector<std::pair<int, int>> stack = {{heap.top().index, 0}};
+    int max_depth = 0;
+    while (!stack.empty()) {
+      auto [idx, depth] = stack.back();
+      stack.pop_back();
+      if (idx < 256) {
+        lengths[idx] = depth == 0 ? 1 : depth;
+        max_depth = std::max(max_depth, lengths[idx]);
+      } else {
+        stack.push_back({children[idx - 256].first, depth + 1});
+        stack.push_back({children[idx - 256].second, depth + 1});
+      }
+    }
+    if (max_depth <= kMaxCodeLen) return;
+    // Flatten frequencies and retry; converges quickly because the length
+    // of the deepest code shrinks as the distribution flattens.
+    for (auto& f : freqs) {
+      if (f > 0) f = f / 2 + 1;
+    }
+  }
+}
+
+// Canonical code assignment: shorter codes first, ties by symbol value.
+// codes[i] holds the code bits for symbol i, LSB-first as consumed by
+// BitWriter/BitReader below (we reverse the canonical MSB-first code).
+void AssignCodes(const int* lengths, uint32_t* codes) {
+  std::vector<int> order;
+  for (int i = 0; i < 256; ++i) {
+    if (lengths[i] > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  uint32_t code = 0;
+  int prev_len = 0;
+  for (int sym : order) {
+    code <<= (lengths[sym] - prev_len);
+    prev_len = lengths[sym];
+    // Reverse bits so that writing LSB-first preserves prefix-freeness.
+    uint32_t rev = 0;
+    for (int b = 0; b < lengths[sym]; ++b) {
+      rev |= ((code >> b) & 1u) << (lengths[sym] - 1 - b);
+    }
+    codes[sym] = rev;
+    ++code;
+  }
+}
+
+// Decoder table: for canonical decoding we walk bit-by-bit maintaining the
+// candidate code value, using first-code/first-symbol arrays per length.
+struct HuffDecoder {
+  uint32_t first_code[kMaxCodeLen + 1] = {0};
+  int first_symbol_index[kMaxCodeLen + 1] = {0};
+  uint32_t count[kMaxCodeLen + 1] = {0};
+  std::vector<int> symbols;  // symbols sorted by (length, value)
+
+  void Build(const int* lengths) {
+    symbols.clear();
+    std::fill(count, count + kMaxCodeLen + 1, 0u);
+    for (int i = 0; i < 256; ++i) {
+      if (lengths[i] > 0) ++count[lengths[i]];
+    }
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      for (int i = 0; i < 256; ++i) {
+        if (lengths[i] == len) symbols.push_back(i);
+      }
+    }
+    uint32_t code = 0;
+    int index = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      code <<= 1;
+      first_code[len] = code;
+      first_symbol_index[len] = index;
+      code += count[len];
+      index += count[len];
+    }
+  }
+
+  // Reads one symbol; returns -1 on malformed input.
+  int Decode(BitReader* reader) const {
+    uint32_t code = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      uint32_t bit;
+      if (!reader->ReadBit(&bit)) return -1;
+      code = (code << 1) | bit;
+      if (code >= first_code[len] && code - first_code[len] < count[len]) {
+        return symbols[first_symbol_index[len] + (code - first_code[len])];
+      }
+    }
+    return -1;
+  }
+};
+
+struct Op {
+  bool is_match;
+  uint8_t literal;
+  uint32_t length;    // match length
+  uint32_t distance;  // match distance (1-based)
+};
+
+}  // namespace
+
+Status ZliteCodec::Compress(Slice input, Buffer* output) const {
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  PutVarint64(output, n);
+
+  // LZSS parse with hash chains.
+  std::vector<Op> ops;
+  ops.reserve(n / 4 + 16);
+  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int64_t> chain(n, -1);
+  const size_t match_limit = n >= 4 ? n - 4 : 0;
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos < match_limit) {
+      const uint32_t h = Hash4(base + pos);
+      int64_t cand = head[h];
+      int depth = 0;
+      const size_t max_len = std::min(n - pos, kMaxMatch);
+      while (cand >= 0 && depth++ < kMaxChainDepth &&
+             pos - static_cast<size_t>(cand) <= kWindowSize) {
+        const uint8_t* p = base + cand;
+        const uint8_t* q = base + pos;
+        size_t len = 0;
+        while (len < max_len && p[len] == q[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - static_cast<size_t>(cand);
+          if (len >= max_len) break;
+        }
+        cand = chain[cand];
+      }
+      chain[pos] = head[h];
+      head[h] = static_cast<int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      ops.push_back({true, 0, static_cast<uint32_t>(best_len),
+                     static_cast<uint32_t>(best_dist)});
+      // Insert positions covered by the match into the chains.
+      const size_t end = pos + best_len;
+      for (pos += 1; pos < end; ++pos) {
+        if (pos < match_limit) {
+          const uint32_t h = Hash4(base + pos);
+          chain[pos] = head[h];
+          head[h] = static_cast<int64_t>(pos);
+        }
+      }
+    } else {
+      ops.push_back({false, base[pos], 0, 0});
+      ++pos;
+    }
+  }
+
+  PutVarint64(output, ops.size());
+
+  // Literal Huffman code.
+  std::vector<uint64_t> freqs(256, 0);
+  for (const Op& op : ops) {
+    if (!op.is_match) ++freqs[op.literal];
+  }
+  int lengths[256];
+  BuildCodeLengths(freqs, lengths);
+  uint32_t codes[256] = {0};
+  AssignCodes(lengths, codes);
+
+  // 256 nibbles of code lengths.
+  for (int i = 0; i < 256; i += 2) {
+    output->PushBack(static_cast<char>((lengths[i] & 0xf) |
+                                       ((lengths[i + 1] & 0xf) << 4)));
+  }
+
+  BitWriter writer(output);
+  for (const Op& op : ops) {
+    if (op.is_match) {
+      writer.Write(1, 1);
+      const uint32_t len_code = op.length - kMinMatch;
+      if (len_code < 31) {
+        writer.Write(len_code, 5);
+      } else {
+        writer.Write(31, 5);
+        writer.Write(len_code, 16);
+      }
+      writer.Write(op.distance - 1, 16);
+    } else {
+      writer.Write(0, 1);
+      writer.Write(codes[op.literal], lengths[op.literal]);
+    }
+  }
+  writer.Flush();
+  return Status::OK();
+}
+
+Status ZliteCodec::Decompress(Slice input, Buffer* output) const {
+  uint64_t raw_size, op_count;
+  COLMR_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+  COLMR_RETURN_IF_ERROR(GetVarint64(&input, &op_count));
+  if (input.size() < 128) return Status::Corruption("zlite: header");
+
+  int lengths[256];
+  for (int i = 0; i < 256; i += 2) {
+    const uint8_t b = static_cast<uint8_t>(input[i / 2]);
+    lengths[i] = b & 0xf;
+    lengths[i + 1] = b >> 4;
+  }
+  input.RemovePrefix(128);
+
+  HuffDecoder decoder;
+  decoder.Build(lengths);
+
+  const size_t out_start = output->size();
+  // Clamp the hint: raw_size is untrusted until decoding completes.
+  output->Reserve(out_start + std::min<uint64_t>(raw_size, 1 << 20));
+  BitReader reader(input);
+  for (uint64_t i = 0; i < op_count; ++i) {
+    uint32_t flag;
+    if (!reader.ReadBit(&flag)) return Status::Corruption("zlite: truncated");
+    if (flag) {
+      uint32_t len_code;
+      if (!reader.Read(5, &len_code)) {
+        return Status::Corruption("zlite: truncated length");
+      }
+      if (len_code == 31) {
+        if (!reader.Read(16, &len_code)) {
+          return Status::Corruption("zlite: truncated long length");
+        }
+      }
+      uint32_t dist;
+      if (!reader.Read(16, &dist)) {
+        return Status::Corruption("zlite: truncated distance");
+      }
+      const size_t length = len_code + kMinMatch;
+      const size_t distance = dist + 1;
+      const size_t produced = output->size() - out_start;
+      if (distance > produced) return Status::Corruption("zlite: distance");
+      const size_t src = output->size() - distance;
+      for (size_t k = 0; k < length; ++k) {
+        output->PushBack(output->data()[src + k]);
+      }
+    } else {
+      const int sym = decoder.Decode(&reader);
+      if (sym < 0) return Status::Corruption("zlite: bad literal code");
+      output->PushBack(static_cast<char>(sym));
+    }
+  }
+  if (output->size() - out_start != raw_size) {
+    return Status::Corruption("zlite: size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

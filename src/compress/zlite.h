@@ -1,0 +1,23 @@
+#ifndef COLMR_COMPRESS_ZLITE_H_
+#define COLMR_COMPRESS_ZLITE_H_
+
+#include "compress/codec.h"
+
+namespace colmr {
+
+/// Deflate-class codec: LZSS over a 64 KB window with hash-chain match
+/// search, literals entropy-coded with a per-block canonical Huffman code,
+/// bit-packed output. Achieves noticeably better ratios than LzfCodec but
+/// pays for it with bit-level decoding — the repository's ZLIB substitute
+/// for the compression experiments (paper Sections 3.3, 5.3, 6.3).
+class ZliteCodec final : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kZlite; }
+  std::string name() const override { return "zlite"; }
+  Status Compress(Slice input, Buffer* output) const override;
+  Status Decompress(Slice input, Buffer* output) const override;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMPRESS_ZLITE_H_

@@ -1,0 +1,22 @@
+#ifndef COLMR_FORMATS_DETECT_H_
+#define COLMR_FORMATS_DETECT_H_
+
+#include <memory>
+#include <string>
+
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/input_format.h"
+
+namespace colmr {
+
+/// Infers the storage format of a dataset directory and returns a matching
+/// InputFormat: CIF when the directory holds split-directories (s0, …),
+/// otherwise SEQ / RCFile by the part file's magic bytes, otherwise TXT.
+/// `format_name` (optional) receives "cif" / "seq" / "rcfile" / "txt".
+Status DetectInputFormat(MiniHdfs* fs, const std::string& dataset_path,
+                         std::shared_ptr<InputFormat>* format,
+                         std::string* format_name);
+
+}  // namespace colmr
+
+#endif  // COLMR_FORMATS_DETECT_H_

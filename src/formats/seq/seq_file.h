@@ -1,0 +1,114 @@
+#ifndef COLMR_FORMATS_SEQ_SEQ_FILE_H_
+#define COLMR_FORMATS_SEQ_SEQ_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "compress/codec.h"
+#include "hdfs/reader.h"
+#include "mapreduce/output_format.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+// SequenceFile: the standard Hadoop binary row format (the paper's SEQ
+// baseline). Layout:
+//   header:  magic "SEQ6", length-prefixed schema text, compression mode
+//            byte, codec byte, 16-byte sync marker
+//   stream:  records / blocks, with a sync escape (0xFFFFFFFF + the sync
+//            marker) injected at least every sync_interval bytes so byte-
+//            range splits can find a record boundary.
+//   record (none/record modes):  varint key_len (0: NullWritable keys),
+//            varint value_len, value bytes (record mode: codec-compressed)
+//   block (block mode):          sync escape, varint record count, varint
+//            compressed payload length, payload = codec(concatenated
+//            varint-length-prefixed values)
+
+/// How record values are compressed, mirroring Hadoop's three
+/// SequenceFile.CompressionTypes (paper Section 6.3's SEQ variants).
+enum class SeqCompression : uint8_t {
+  kNone = 0,
+  kRecord = 1,
+  kBlock = 2,
+};
+
+struct SeqWriterOptions {
+  SeqCompression compression = SeqCompression::kNone;
+  CodecType codec = CodecType::kLzf;
+  /// Raw bytes accumulated before a block is flushed (block mode).
+  uint64_t block_size = 256 * 1024;
+  /// Bytes between sync escapes (none/record modes).
+  uint64_t sync_interval = 4096;
+};
+
+/// Writes a SEQ dataset directory: `_schema` plus one `part-00000` file.
+class SeqWriter final : public DatasetWriter {
+ public:
+  static Status Open(MiniHdfs* fs, const std::string& path,
+                     Schema::Ptr schema, const SeqWriterOptions& options,
+                     std::unique_ptr<SeqWriter>* writer);
+
+  Status WriteRecord(const Value& record) override;
+  Status Close() override;
+  uint64_t record_count() const override { return records_; }
+
+ private:
+  SeqWriter(Schema::Ptr schema, SeqWriterOptions options,
+            std::unique_ptr<FileWriter> file, std::string sync);
+
+  void WriteSyncEscape();
+  Status FlushBlock();
+
+  Schema::Ptr schema_;
+  SeqWriterOptions options_;
+  std::unique_ptr<FileWriter> file_;
+  std::string sync_;
+  uint64_t records_ = 0;
+  uint64_t bytes_since_sync_ = 0;
+  // Block mode accumulation.
+  Buffer block_payload_;
+  uint64_t block_records_ = 0;
+};
+
+/// Scans the records of one SEQ file byte range. Ownership rule (as in
+/// Hadoop): a split owns the sync regions whose sync escape starts in
+/// [offset, offset + length).
+class SeqScanner {
+ public:
+  static Status Open(MiniHdfs* fs, const std::string& file,
+                     const ReadContext& context, uint64_t offset,
+                     uint64_t length, std::unique_ptr<SeqScanner>* scanner);
+
+  /// Advances to the next record; false at end of range or error.
+  bool Next();
+  /// The current decoded record value (valid after Next() == true).
+  const Value& value() const { return value_; }
+  Status status() const { return status_; }
+  const Schema::Ptr& schema() const { return schema_; }
+
+ private:
+  SeqScanner() = default;
+
+  Status Init(uint64_t offset, uint64_t length);
+  Status ScanToSync(uint64_t from);
+  /// Reads one record at the cursor; sets done_ when the range is over.
+  Status Advance();
+
+  std::unique_ptr<BufferedReader> input_;
+  Schema::Ptr schema_;
+  SeqCompression compression_ = SeqCompression::kNone;
+  const Codec* codec_ = nullptr;
+  std::string sync_;
+  uint64_t end_ = 0;
+  bool done_ = false;
+  Value value_;
+  Status status_;
+  // Block mode: decompressed payload being iterated.
+  Buffer block_;
+  Slice block_cursor_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_FORMATS_SEQ_SEQ_FILE_H_

@@ -1,0 +1,48 @@
+#include "formats/seq/seq_format.h"
+
+#include "mapreduce/job.h"
+
+namespace colmr {
+
+namespace {
+
+class SeqRecordReader final : public RecordReader {
+ public:
+  explicit SeqRecordReader(std::unique_ptr<SeqScanner> scanner)
+      : scanner_(std::move(scanner)),
+        record_(scanner_->schema(), Value::Null()) {}
+
+  bool Next() override {
+    if (!scanner_->Next()) return false;
+    record_ = EagerRecord(scanner_->schema(), scanner_->value());
+    return true;
+  }
+
+  Record& record() override { return record_; }
+  Status status() const override { return scanner_->status(); }
+
+ private:
+  std::unique_ptr<SeqScanner> scanner_;
+  EagerRecord record_;
+};
+
+}  // namespace
+
+Status SeqInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                 std::vector<InputSplit>* splits) {
+  return ComputeFileSplits(fs, config.input_paths, config.split_size, splits);
+}
+
+Status SeqInputFormat::CreateRecordReader(
+    MiniHdfs* fs, const JobConfig& config, const InputSplit& split,
+    const ReadContext& context, std::unique_ptr<RecordReader>* reader) {
+  (void)config;
+  std::unique_ptr<SeqScanner> scanner;
+  COLMR_RETURN_IF_ERROR(SeqScanner::Open(fs, split.paths.at(0), context,
+                                         split.offset, split.length,
+                                         &scanner));
+  reader->reset(new SeqRecordReader(std::move(scanner)));
+  return Status::OK();
+}
+
+}  // namespace colmr

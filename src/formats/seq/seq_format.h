@@ -1,0 +1,27 @@
+#ifndef COLMR_FORMATS_SEQ_SEQ_FORMAT_H_
+#define COLMR_FORMATS_SEQ_SEQ_FORMAT_H_
+
+#include <memory>
+
+#include "formats/seq/seq_file.h"
+#include "mapreduce/input_format.h"
+
+namespace colmr {
+
+/// InputFormat over SEQ dataset directories (the paper's
+/// SequenceFileInputFormat). Splits are byte ranges snapped to sync
+/// markers by SeqScanner.
+class SeqInputFormat final : public InputFormat {
+ public:
+  std::string name() const override { return "seq"; }
+  Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   std::vector<InputSplit>* splits) override;
+  Status CreateRecordReader(MiniHdfs* fs, const JobConfig& config,
+                            const InputSplit& split,
+                            const ReadContext& context,
+                            std::unique_ptr<RecordReader>* reader) override;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_FORMATS_SEQ_SEQ_FORMAT_H_

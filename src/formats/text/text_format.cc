@@ -1,0 +1,360 @@
+#include "formats/text/text_format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "mapreduce/job.h"
+
+namespace colmr {
+
+std::string FormatTextRecord(const Schema& schema, const Value& record) {
+  std::string line;
+  const auto& values = record.elements();
+  for (size_t i = 0; i < schema.fields().size() && i < values.size(); ++i) {
+    if (i > 0) line += '\t';
+    // Value::ToString escapes tabs and newlines inside strings, so the
+    // field and record delimiters stay unambiguous.
+    line += values[i].ToString();
+  }
+  return line;
+}
+
+namespace {
+
+/// Recursive-descent parser for the Value::ToString grammar.
+class TextValueParser {
+ public:
+  explicit TextValueParser(Slice input) : input_(input) {}
+
+  Status ParseValue(const Schema& schema, Value* out) {
+    switch (schema.kind()) {
+      case TypeKind::kNull:
+        COLMR_RETURN_IF_ERROR(ExpectLiteral("null"));
+        *out = Value::Null();
+        return Status::OK();
+      case TypeKind::kBool: {
+        if (TryLiteral("true")) {
+          *out = Value::Bool(true);
+        } else if (TryLiteral("false")) {
+          *out = Value::Bool(false);
+        } else {
+          return Status::Corruption("txt: expected bool");
+        }
+        return Status::OK();
+      }
+      case TypeKind::kInt32:
+      case TypeKind::kInt64: {
+        int64_t v = 0;
+        COLMR_RETURN_IF_ERROR(ParseInteger(&v));
+        *out = schema.kind() == TypeKind::kInt32
+                   ? Value::Int32(static_cast<int32_t>(v))
+                   : Value::Int64(v);
+        return Status::OK();
+      }
+      case TypeKind::kDouble: {
+        // Collect the numeric token, then convert.
+        size_t len = 0;
+        while (len < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[len])) ||
+                input_[len] == '-' || input_[len] == '+' ||
+                input_[len] == '.' || input_[len] == 'e' ||
+                input_[len] == 'E')) {
+          ++len;
+        }
+        if (len == 0) return Status::Corruption("txt: expected double");
+        const std::string token(input_.data(), len);
+        input_.RemovePrefix(len);
+        *out = Value::Double(std::strtod(token.c_str(), nullptr));
+        return Status::OK();
+      }
+      case TypeKind::kString:
+      case TypeKind::kBytes: {
+        std::string s;
+        COLMR_RETURN_IF_ERROR(ParseQuoted(&s));
+        *out = schema.kind() == TypeKind::kString
+                   ? Value::String(std::move(s))
+                   : Value::Bytes(std::move(s));
+        return Status::OK();
+      }
+      case TypeKind::kArray:
+      case TypeKind::kRecord: {
+        COLMR_RETURN_IF_ERROR(ExpectChar('['));
+        std::vector<Value> elems;
+        if (!TryChar(']')) {
+          size_t field_index = 0;
+          for (;;) {
+            const Schema& element_schema =
+                schema.kind() == TypeKind::kArray
+                    ? *schema.element()
+                    : *schema.fields()[field_index].type;
+            Value v;
+            COLMR_RETURN_IF_ERROR(ParseValue(element_schema, &v));
+            elems.push_back(std::move(v));
+            ++field_index;
+            if (TryChar(']')) break;
+            COLMR_RETURN_IF_ERROR(ExpectChar(','));
+          }
+        }
+        *out = schema.kind() == TypeKind::kArray
+                   ? Value::Array(std::move(elems))
+                   : Value::Record(std::move(elems));
+        return Status::OK();
+      }
+      case TypeKind::kMap: {
+        COLMR_RETURN_IF_ERROR(ExpectChar('{'));
+        Value::MapEntries entries;
+        if (!TryChar('}')) {
+          for (;;) {
+            std::string key;
+            COLMR_RETURN_IF_ERROR(ParseQuoted(&key));
+            COLMR_RETURN_IF_ERROR(ExpectChar(':'));
+            Value v;
+            COLMR_RETURN_IF_ERROR(ParseValue(*schema.element(), &v));
+            entries.emplace_back(std::move(key), std::move(v));
+            if (TryChar('}')) break;
+            COLMR_RETURN_IF_ERROR(ExpectChar(','));
+          }
+        }
+        *out = Value::Map(std::move(entries));
+        return Status::OK();
+      }
+    }
+    return Status::Corruption("txt: unknown kind");
+  }
+
+  Status ExpectChar(char c) {
+    if (input_.empty() || input_[0] != c) {
+      return Status::Corruption(std::string("txt: expected '") + c + "'");
+    }
+    input_.RemovePrefix(1);
+    return Status::OK();
+  }
+
+  bool TryChar(char c) {
+    if (!input_.empty() && input_[0] == c) {
+      input_.RemovePrefix(1);
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return input_.empty(); }
+
+ private:
+  bool TryLiteral(const char* lit) {
+    const size_t len = strlen(lit);
+    if (input_.size() >= len && memcmp(input_.data(), lit, len) == 0) {
+      input_.RemovePrefix(len);
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectLiteral(const char* lit) {
+    if (!TryLiteral(lit)) {
+      return Status::Corruption(std::string("txt: expected ") + lit);
+    }
+    return Status::OK();
+  }
+
+  Status ParseInteger(int64_t* out) {
+    bool negative = false;
+    size_t i = 0;
+    if (i < input_.size() && input_[i] == '-') {
+      negative = true;
+      ++i;
+    }
+    int64_t v = 0;
+    size_t digits = 0;
+    while (i < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[i]))) {
+      v = v * 10 + (input_[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return Status::Corruption("txt: expected integer");
+    input_.RemovePrefix(i);
+    *out = negative ? -v : v;
+    return Status::OK();
+  }
+
+  Status ParseQuoted(std::string* out) {
+    COLMR_RETURN_IF_ERROR(ExpectChar('"'));
+    out->clear();
+    while (!input_.empty()) {
+      char c = input_[0];
+      input_.RemovePrefix(1);
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (input_.empty()) break;
+        char esc = input_[0];
+        input_.RemovePrefix(1);
+        switch (esc) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          default:
+            out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Status::Corruption("txt: unterminated string");
+  }
+
+  Slice input_;
+};
+
+}  // namespace
+
+Status ParseTextRecord(const Schema& schema, Slice line, Value* record) {
+  TextValueParser parser(line);
+  std::vector<Value> values;
+  values.reserve(schema.fields().size());
+  for (size_t i = 0; i < schema.fields().size(); ++i) {
+    if (i > 0) COLMR_RETURN_IF_ERROR(parser.ExpectChar('\t'));
+    Value v;
+    COLMR_RETURN_IF_ERROR(parser.ParseValue(*schema.fields()[i].type, &v));
+    values.push_back(std::move(v));
+  }
+  if (!parser.AtEnd()) return Status::Corruption("txt: trailing field data");
+  *record = Value::Record(std::move(values));
+  return Status::OK();
+}
+
+Status WriteDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,
+                          const Schema& schema) {
+  std::unique_ptr<FileWriter> writer;
+  COLMR_RETURN_IF_ERROR(fs->Create(dataset_dir + "/_schema", &writer));
+  writer->Append(schema.ToString());
+  return writer->Close();
+}
+
+Status ReadDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,
+                         Schema::Ptr* schema) {
+  std::unique_ptr<FileReader> reader;
+  COLMR_RETURN_IF_ERROR(
+      fs->Open(dataset_dir + "/_schema", ReadContext{}, &reader));
+  std::string text;
+  COLMR_RETURN_IF_ERROR(reader->Read(0, reader->size(), &text));
+  return Schema::Parse(text, schema);
+}
+
+Status TextWriter::Open(MiniHdfs* fs, const std::string& path,
+                        Schema::Ptr schema,
+                        std::unique_ptr<TextWriter>* writer) {
+  COLMR_RETURN_IF_ERROR(WriteDatasetSchema(fs, path, *schema));
+  std::unique_ptr<FileWriter> file;
+  COLMR_RETURN_IF_ERROR(fs->Create(path + "/part-00000", &file));
+  writer->reset(new TextWriter(std::move(schema), std::move(file)));
+  return Status::OK();
+}
+
+Status TextWriter::WriteRecord(const Value& record) {
+  std::string line = FormatTextRecord(*schema_, record);
+  line += '\n';
+  file_->Append(line);
+  ++records_;
+  return Status::OK();
+}
+
+Status TextWriter::Close() { return file_->Close(); }
+
+namespace {
+
+/// Reads byte-range splits of a TXT part file, snapping to line
+/// boundaries as Hadoop's LineRecordReader does: a split owns the records
+/// that *start* within (offset, offset + length].
+class TextRecordReader final : public RecordReader {
+ public:
+  TextRecordReader(Schema::Ptr schema, std::unique_ptr<BufferedReader> input,
+                   uint64_t offset, uint64_t length)
+      : schema_(std::move(schema)),
+        input_(std::move(input)),
+        end_(offset + length),
+        record_(schema_, Value::Null()) {
+    if (offset == 0) {
+      status_ = input_->Seek(0);
+    } else {
+      // Skip the partial line owned by the previous split.
+      status_ = input_->Seek(offset);
+      if (status_.ok()) {
+        std::string discard;
+        status_ = ReadLine(&discard);
+      }
+    }
+  }
+
+  bool Next() override {
+    if (!status_.ok()) return false;
+    if (input_->position() > end_ || input_->AtEnd()) return false;
+    std::string line;
+    status_ = ReadLine(&line);
+    if (!status_.ok()) return false;
+    Value value;
+    status_ = ParseTextRecord(*schema_, line, &value);
+    if (!status_.ok()) return false;
+    record_ = EagerRecord(schema_, std::move(value));
+    return true;
+  }
+
+  Record& record() override { return record_; }
+  Status status() const override { return status_; }
+
+ private:
+  Status ReadLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      Slice view;
+      COLMR_RETURN_IF_ERROR(input_->Peek(1, &view));
+      if (view.empty()) return Status::OK();  // EOF ends the last line
+      for (size_t i = 0; i < view.size(); ++i) {
+        if (view[i] == '\n') {
+          line->append(view.data(), i);
+          input_->Consume(i + 1);
+          return Status::OK();
+        }
+      }
+      line->append(view.data(), view.size());
+      input_->Consume(view.size());
+    }
+  }
+
+  Schema::Ptr schema_;
+  std::unique_ptr<BufferedReader> input_;
+  uint64_t end_;
+  EagerRecord record_;
+  Status status_;
+};
+
+}  // namespace
+
+Status TextInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                  std::vector<InputSplit>* splits) {
+  return ComputeFileSplits(fs, config.input_paths, config.split_size, splits);
+}
+
+Status TextInputFormat::CreateRecordReader(
+    MiniHdfs* fs, const JobConfig& config, const InputSplit& split,
+    const ReadContext& context, std::unique_ptr<RecordReader>* reader) {
+  (void)config;
+  // The dataset directory is the parent of the part file.
+  const std::string& file = split.paths.at(0);
+  const std::string dir = file.substr(0, file.rfind('/'));
+  Schema::Ptr schema;
+  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+  std::unique_ptr<FileReader> raw;
+  COLMR_RETURN_IF_ERROR(fs->Open(file, context, &raw));
+  auto buffered = std::make_unique<BufferedReader>(
+      std::move(raw), fs->config().io_buffer_size);
+  reader->reset(new TextRecordReader(std::move(schema), std::move(buffered),
+                                     split.offset, split.length));
+  return Status::OK();
+}
+
+}  // namespace colmr

@@ -1,0 +1,44 @@
+#include "hdfs/cost_model.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace colmr {
+
+double CostModel::TaskSeconds(const TaskCost& cost) const {
+  const double local_seconds =
+      static_cast<double>(cost.io.local_bytes) /
+      (config_.disk_bandwidth_mbps * 1e6);
+  const double remote_seconds =
+      static_cast<double>(cost.io.remote_bytes) /
+      (config_.network_bandwidth_mbps * 1e6);
+  const double seek_seconds =
+      static_cast<double>(cost.io.seeks) * config_.seek_latency_ms / 1e3;
+  return cost.cpu_seconds + local_seconds + remote_seconds + seek_seconds;
+}
+
+double CostModel::MapPhaseSeconds(
+    const std::vector<double>& task_seconds) const {
+  const int slots = std::max(1, config_.TotalMapSlots());
+  // LPT packing onto identical machines: sort descending, always assign to
+  // the least-loaded slot. With tasks ≫ slots this converges to
+  // sum/slots, which is exactly the paper's "total map task time divided
+  // by the number of map slots".
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      slot_loads;
+  for (int i = 0; i < slots; ++i) slot_loads.push(0.0);
+  double makespan = 0;
+  for (double t : sorted) {
+    double load = slot_loads.top();
+    slot_loads.pop();
+    load += t;
+    makespan = std::max(makespan, load);
+    slot_loads.push(load);
+  }
+  return makespan;
+}
+
+}  // namespace colmr

@@ -1,0 +1,43 @@
+#ifndef COLMR_HDFS_COST_MODEL_H_
+#define COLMR_HDFS_COST_MODEL_H_
+
+#include <vector>
+
+#include "hdfs/cluster.h"
+
+namespace colmr {
+
+/// Resource usage of one task: CPU time actually measured while the task
+/// ran, plus the exact I/O it issued against the simulated datanodes.
+struct TaskCost {
+  double cpu_seconds = 0;
+  IoStats io;
+};
+
+/// Converts a task's measured CPU and counted I/O into simulated seconds
+/// on the paper's cluster. The model is deliberately simple — no
+/// CPU/I/O overlap — because the paper's comparisons are dominated by
+/// either bytes moved (I/O-bound formats) or deserialization CPU
+/// (CPU-bound formats), and a non-overlapping sum preserves both orderings
+/// and the crossovers between them.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterConfig& config) : config_(config) {}
+
+  /// Simulated wall-clock seconds for one task.
+  double TaskSeconds(const TaskCost& cost) const;
+
+  /// Simulated seconds for the whole map phase: tasks are packed onto
+  /// the cluster's map slots wave by wave (longest-processing-time first),
+  /// matching how the paper computes per-node map time.
+  double MapPhaseSeconds(const std::vector<double>& task_seconds) const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_HDFS_COST_MODEL_H_

@@ -1,0 +1,365 @@
+#include "hdfs/mini_hdfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+#include "common/coding.h"
+
+namespace colmr {
+
+MiniHdfs::MiniHdfs(ClusterConfig config,
+                   std::unique_ptr<BlockPlacementPolicy> placement)
+    : config_(config), placement_(std::move(placement)) {}
+
+MiniHdfs::~MiniHdfs() = default;
+
+std::unique_ptr<MiniHdfs> MiniHdfs::CreateDefault() {
+  return std::make_unique<MiniHdfs>(
+      ClusterConfig(), std::make_unique<DefaultPlacementPolicy>());
+}
+
+Status MiniHdfs::Create(const std::string& path,
+                        std::unique_ptr<FileWriter>* writer) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists(path);
+  }
+  files_.emplace(path, FileMeta{});
+  writer->reset(new FileWriter(this, path));
+  return Status::OK();
+}
+
+Status MiniHdfs::Open(const std::string& path, const ReadContext& context,
+                      std::unique_ptr<FileReader>* reader) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  reader->reset(new FileReader(this, &it->second, context));
+  return Status::OK();
+}
+
+bool MiniHdfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status MiniHdfs::GetFileSize(const std::string& path, uint64_t* size) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *size = it->second.size;
+  return Status::OK();
+}
+
+Status MiniHdfs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  for (const BlockInfo& block : it->second.blocks) {
+    block_data_.erase(block.id);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MiniHdfs::ListDir(const std::string& path,
+                         std::vector<std::string>* children) const {
+  children->clear();
+  std::string prefix = path;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::set<std::string> unique_children;
+  for (const auto& [file_path, meta] : files_) {
+    if (file_path.size() > prefix.size() &&
+        file_path.compare(0, prefix.size(), prefix) == 0) {
+      const std::string rest = file_path.substr(prefix.size());
+      const size_t slash = rest.find('/');
+      unique_children.insert(slash == std::string::npos ? rest
+                                                        : rest.substr(0, slash));
+    }
+  }
+  children->assign(unique_children.begin(), unique_children.end());
+  if (children->empty()) {
+    return Status::NotFound("empty or missing directory: " + path);
+  }
+  return Status::OK();
+}
+
+Status MiniHdfs::GetBlockLocations(const std::string& path,
+                                   std::vector<BlockInfo>* blocks) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *blocks = it->second.blocks;
+  return Status::OK();
+}
+
+std::vector<NodeId> MiniHdfs::CommonReplicaNodes(
+    const std::vector<std::string>& paths) const {
+  std::set<NodeId> common;
+  bool first = true;
+  for (const std::string& path : paths) {
+    auto it = files_.find(path);
+    if (it == files_.end()) return {};
+    for (const BlockInfo& block : it->second.blocks) {
+      std::set<NodeId> holders(block.replicas.begin(), block.replicas.end());
+      if (first) {
+        common = holders;
+        first = false;
+      } else {
+        std::set<NodeId> next;
+        std::set_intersection(common.begin(), common.end(), holders.begin(),
+                              holders.end(),
+                              std::inserter(next, next.begin()));
+        common = std::move(next);
+      }
+      if (common.empty()) return {};
+    }
+  }
+  return std::vector<NodeId>(common.begin(), common.end());
+}
+
+Status MiniHdfs::KillNode(NodeId node) {
+  if (node < 0 || node >= config_.num_nodes) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (!dead_nodes_.insert(node).second) {
+    return Status::AlreadyExists("node already dead");
+  }
+  for (auto& [path, meta] : files_) {
+    for (BlockInfo& block : meta.blocks) {
+      block.replicas.erase(
+          std::remove(block.replicas.begin(), block.replicas.end(), node),
+          block.replicas.end());
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MiniHdfs::UnderReplicatedBlockCount() const {
+  const size_t target = static_cast<size_t>(
+      std::min(config_.replication,
+               config_.num_nodes - static_cast<int>(dead_nodes_.size())));
+  uint64_t count = 0;
+  for (const auto& [path, meta] : files_) {
+    for (const BlockInfo& block : meta.blocks) {
+      if (block.replicas.size() < target) ++count;
+    }
+  }
+  return count;
+}
+
+Status MiniHdfs::ReReplicate() {
+  const size_t target = static_cast<size_t>(
+      std::min(config_.replication,
+               config_.num_nodes - static_cast<int>(dead_nodes_.size())));
+  for (auto& [path, meta] : files_) {
+    for (BlockInfo& block : meta.blocks) {
+      while (block.replicas.size() < target) {
+        const NodeId fresh = placement_->ChooseReplacement(
+            path, block.replicas, config_.num_nodes, dead_nodes_);
+        if (fresh == kAnyNode) {
+          return Status::IoError("no eligible node for re-replication");
+        }
+        block.replicas.push_back(fresh);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MiniHdfs::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, meta] : files_) total += meta.size;
+  return total;
+}
+
+namespace {
+constexpr char kImageMagic[4] = {'C', 'H', 'F', 'S'};
+}  // namespace
+
+Status MiniHdfs::SaveImage(const std::string& local_path) const {
+  Buffer image;
+  image.Append(Slice(kImageMagic, 4));
+  PutVarint64(&image, static_cast<uint64_t>(config_.num_nodes));
+  PutVarint64(&image, static_cast<uint64_t>(config_.replication));
+  PutVarint64(&image, config_.block_size);
+  PutVarint64(&image, config_.io_buffer_size);
+  PutVarint64(&image, next_block_id_);
+  PutVarint64(&image, dead_nodes_.size());
+  for (NodeId node : dead_nodes_) {
+    PutVarint64(&image, static_cast<uint64_t>(node));
+  }
+  PutVarint64(&image, files_.size());
+  for (const auto& [path, meta] : files_) {
+    PutLengthPrefixed(&image, path);
+    PutVarint64(&image, meta.blocks.size());
+    for (const BlockInfo& block : meta.blocks) {
+      PutVarint64(&image, block.id);
+      PutVarint64(&image, block.replicas.size());
+      for (NodeId node : block.replicas) {
+        PutVarint64(&image, static_cast<uint64_t>(node));
+      }
+      PutLengthPrefixed(&image, block_data_.at(block.id));
+    }
+  }
+
+  std::ofstream out(local_path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open image file: " + local_path);
+  }
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  out.close();
+  if (!out.good()) return Status::IoError("short write: " + local_path);
+  return Status::OK();
+}
+
+Status MiniHdfs::LoadImage(const std::string& local_path) {
+  std::ifstream in(local_path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open image file: " + local_path);
+  }
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  Slice cursor(raw);
+  if (cursor.size() < 4 || memcmp(cursor.data(), kImageMagic, 4) != 0) {
+    return Status::Corruption("not a colmr filesystem image");
+  }
+  cursor.RemovePrefix(4);
+
+  MiniHdfs loaded(config_, nullptr);
+  uint64_t v;
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+  loaded.config_.num_nodes = static_cast<int>(v);
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+  loaded.config_.replication = static_cast<int>(v);
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &loaded.config_.block_size));
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &loaded.config_.io_buffer_size));
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &loaded.next_block_id_));
+  uint64_t dead_count;
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &dead_count));
+  for (uint64_t i = 0; i < dead_count; ++i) {
+    COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+    loaded.dead_nodes_.insert(static_cast<NodeId>(v));
+  }
+  uint64_t file_count;
+  COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &file_count));
+  for (uint64_t f = 0; f < file_count; ++f) {
+    Slice path;
+    COLMR_RETURN_IF_ERROR(GetLengthPrefixed(&cursor, &path));
+    FileMeta meta;
+    uint64_t block_count;
+    COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &block_count));
+    for (uint64_t b = 0; b < block_count; ++b) {
+      BlockInfo block;
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &block.id));
+      uint64_t replica_count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &replica_count));
+      for (uint64_t r = 0; r < replica_count; ++r) {
+        COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+        block.replicas.push_back(static_cast<NodeId>(v));
+      }
+      Slice data;
+      COLMR_RETURN_IF_ERROR(GetLengthPrefixed(&cursor, &data));
+      block.size = data.size();
+      meta.size += data.size();
+      loaded.block_data_[block.id] = data.ToString();
+      meta.blocks.push_back(std::move(block));
+    }
+    loaded.files_.emplace(path.ToString(), std::move(meta));
+  }
+  if (!cursor.empty()) return Status::Corruption("trailing bytes in image");
+
+  // Adopt the loaded state, keeping our placement policy for new writes.
+  config_ = loaded.config_;
+  files_ = std::move(loaded.files_);
+  block_data_ = std::move(loaded.block_data_);
+  dead_nodes_ = std::move(loaded.dead_nodes_);
+  next_block_id_ = loaded.next_block_id_;
+  return Status::OK();
+}
+
+// ---- FileWriter ----
+
+FileWriter::FileWriter(MiniHdfs* fs, std::string path)
+    : fs_(fs), path_(std::move(path)) {}
+
+FileWriter::~FileWriter() {
+  if (!closed_) Close();
+}
+
+void FileWriter::Append(Slice data) {
+  pending_.append(data.data(), data.size());
+  bytes_written_ += data.size();
+  while (pending_.size() >= fs_->config_.block_size) {
+    SealBlock();
+  }
+}
+
+void FileWriter::SealBlock() {
+  const uint64_t block_size = fs_->config_.block_size;
+  const size_t take = std::min<size_t>(pending_.size(), block_size);
+  BlockInfo block;
+  block.id = fs_->next_block_id_++;
+  block.size = take;
+  block.replicas = fs_->placement_->ChooseTargets(
+      path_, next_block_index_++, fs_->config_.num_nodes,
+      fs_->config_.replication);
+  fs_->block_data_[block.id] = pending_.substr(0, take);
+  pending_.erase(0, take);
+
+  auto& meta = fs_->files_[path_];
+  meta.blocks.push_back(std::move(block));
+  meta.size += take;
+}
+
+Status FileWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  while (!pending_.empty()) SealBlock();
+  return Status::OK();
+}
+
+// ---- FileReader ----
+
+FileReader::FileReader(const MiniHdfs* fs, const MiniHdfs::FileMeta* meta,
+                       ReadContext context)
+    : fs_(fs), meta_(meta), context_(context), size_(meta->size) {}
+
+Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
+  out->clear();
+  if (offset >= size_) return Status::OK();
+  n = std::min<uint64_t>(n, size_ - offset);
+  out->reserve(n);
+
+  if (context_.stats != nullptr) {
+    context_.stats->reads += 1;
+  }
+
+  // Walk blocks covering [offset, offset + n).
+  uint64_t block_start = 0;
+  for (const BlockInfo& block : meta_->blocks) {
+    const uint64_t block_end = block_start + block.size;
+    if (block_end > offset && block_start < offset + n) {
+      const uint64_t from = std::max(offset, block_start);
+      const uint64_t to = std::min(offset + n, block_end);
+      const std::string& data = fs_->block_data_.at(block.id);
+      out->append(data, from - block_start, to - from);
+      if (context_.stats != nullptr) {
+        const bool is_local =
+            context_.node == kAnyNode ||
+            std::find(block.replicas.begin(), block.replicas.end(),
+                      context_.node) != block.replicas.end();
+        if (is_local) {
+          context_.stats->local_bytes += to - from;
+        } else {
+          context_.stats->remote_bytes += to - from;
+        }
+      }
+    }
+    block_start = block_end;
+    if (block_start >= offset + n) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace colmr

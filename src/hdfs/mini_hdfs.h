@@ -1,0 +1,192 @@
+#ifndef COLMR_HDFS_MINI_HDFS_H_
+#define COLMR_HDFS_MINI_HDFS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "hdfs/cluster.h"
+#include "hdfs/placement.h"
+
+namespace colmr {
+
+class FileWriter;
+class FileReader;
+
+/// One replicated block of a file. Data is stored once in the process;
+/// `replicas` is the placement metadata that drives locality accounting
+/// and scheduling.
+struct BlockInfo {
+  uint64_t id = 0;
+  uint64_t size = 0;
+  std::vector<NodeId> replicas;
+};
+
+/// Where a read is executing, for locality accounting. node == kAnyNode
+/// means "no placement": every byte counts as local.
+struct ReadContext {
+  NodeId node = kAnyNode;
+  IoStats* stats = nullptr;  // optional sink; may be null
+};
+
+/// In-process HDFS: a namenode namespace of append-only files split into
+/// replicated blocks, with pluggable block placement. Blocks live in
+/// memory; the "cluster" exists as placement metadata plus the cost model,
+/// which is all the paper's techniques interact with. Single-threaded.
+class MiniHdfs {
+ public:
+  /// Takes ownership of the placement policy (HDFS's
+  /// dfs.block.replicator.classname configuration point).
+  MiniHdfs(ClusterConfig config,
+           std::unique_ptr<BlockPlacementPolicy> placement);
+  ~MiniHdfs();
+
+  MiniHdfs(const MiniHdfs&) = delete;
+  MiniHdfs& operator=(const MiniHdfs&) = delete;
+
+  /// Convenience: default config + default placement.
+  static std::unique_ptr<MiniHdfs> CreateDefault();
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Creates a new file for appending. Fails if the path exists.
+  Status Create(const std::string& path, std::unique_ptr<FileWriter>* writer);
+
+  /// Opens an existing file for positioned reads in the given context.
+  Status Open(const std::string& path, const ReadContext& context,
+              std::unique_ptr<FileReader>* reader) const;
+
+  bool Exists(const std::string& path) const;
+  Status GetFileSize(const std::string& path, uint64_t* size) const;
+  Status Delete(const std::string& path);
+
+  /// Immediate children (files and subdirectories) of a directory path,
+  /// sorted, without the parent prefix.
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* children) const;
+
+  /// Block placement metadata of a file, for locality-aware scheduling.
+  Status GetBlockLocations(const std::string& path,
+                           std::vector<BlockInfo>* blocks) const;
+
+  /// Nodes holding a local replica of every block of every listed file —
+  /// the candidate nodes on which a split over those files is fully local.
+  /// Empty when no such node exists (the Fig. 3a situation).
+  std::vector<NodeId> CommonReplicaNodes(
+      const std::vector<std::string>& paths) const;
+
+  /// Total bytes stored (pre-replication), for space-usage reporting.
+  uint64_t TotalStoredBytes() const;
+
+  // ---- Datanode failure and recovery (the paper's Section 4.3 future
+  // work: "re-replication after failures") ----
+
+  /// Marks a datanode dead: its replicas vanish from every block. Blocks
+  /// whose last replica dies keep their (simulated) data but report as
+  /// lost until re-replicated from... nowhere — with 3-way replication
+  /// that requires three simultaneous failures.
+  Status KillNode(NodeId node);
+
+  bool IsNodeDead(NodeId node) const { return dead_nodes_.count(node) > 0; }
+  const std::set<NodeId>& dead_nodes() const { return dead_nodes_; }
+
+  /// Number of blocks currently holding fewer than `replication` live
+  /// replicas.
+  uint64_t UnderReplicatedBlockCount() const;
+
+  /// Restores full replication by asking the placement policy for a
+  /// replacement node per missing replica. Under ColumnPlacementPolicy
+  /// the files of each split-directory move to the same fresh nodes, so
+  /// co-location survives the failure.
+  Status ReReplicate();
+
+  // ---- Image persistence ----
+
+  /// Serializes the entire filesystem (cluster config, namespace, block
+  /// placement, block contents, dead-node set) to one local file, so the
+  /// command-line tools can operate on datasets across process runs.
+  Status SaveImage(const std::string& local_path) const;
+
+  /// Replaces this filesystem's state with a previously saved image.
+  /// The placement policy is kept (it only matters for future writes).
+  Status LoadImage(const std::string& local_path);
+
+ private:
+  friend class FileWriter;
+  friend class FileReader;
+
+  struct FileMeta {
+    std::vector<BlockInfo> blocks;
+    uint64_t size = 0;
+  };
+
+  ClusterConfig config_;
+  std::unique_ptr<BlockPlacementPolicy> placement_;
+  std::map<std::string, FileMeta> files_;
+  std::map<uint64_t, std::string> block_data_;
+  std::set<NodeId> dead_nodes_;
+  uint64_t next_block_id_ = 1;
+};
+
+/// Append-only writer (HDFS files cannot be modified in place — the
+/// constraint that forces CIF skip-list construction to double-buffer,
+/// paper Appendix B.3). Close() must be called; it seals the file.
+class FileWriter {
+ public:
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  void Append(Slice data);
+  uint64_t BytesWritten() const { return bytes_written_; }
+  Status Close();
+
+ private:
+  friend class MiniHdfs;
+  FileWriter(MiniHdfs* fs, std::string path);
+
+  void SealBlock();
+
+  MiniHdfs* fs_;
+  std::string path_;
+  std::string pending_;  // bytes not yet sealed into a block
+  uint64_t bytes_written_ = 0;
+  int next_block_index_ = 0;
+  bool closed_ = false;
+};
+
+/// Positioned reader with local/remote byte accounting. Each Read charges
+/// the context's IoStats per block according to whether context.node holds
+/// a replica of that block.
+class FileReader {
+ public:
+  uint64_t size() const { return size_; }
+
+  /// The context's stats sink (may be null). BufferedReader uses this to
+  /// charge seeks.
+  IoStats* stats() const { return context_.stats; }
+
+  /// Reads up to n bytes at offset into *out (replacing its contents).
+  /// Short reads happen only at end-of-file.
+  Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+ private:
+  friend class MiniHdfs;
+  FileReader(const MiniHdfs* fs, const MiniHdfs::FileMeta* meta,
+             ReadContext context);
+
+  const MiniHdfs* fs_;
+  const MiniHdfs::FileMeta* meta_;
+  ReadContext context_;
+  uint64_t size_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_HDFS_MINI_HDFS_H_

@@ -1,0 +1,122 @@
+#include "hdfs/placement.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace colmr {
+
+std::vector<NodeId> DefaultPlacementPolicy::ChooseTargets(
+    const std::string& /*path*/, int /*block_index*/, int num_nodes,
+    int replication) {
+  const int r = std::min(replication, num_nodes);
+  std::vector<NodeId> targets;
+  targets.reserve(r);
+  while (static_cast<int>(targets.size()) < r) {
+    const NodeId node = static_cast<NodeId>(rng_.Uniform(num_nodes));
+    if (std::find(targets.begin(), targets.end(), node) == targets.end()) {
+      targets.push_back(node);
+    }
+  }
+  return targets;
+}
+
+namespace {
+
+bool Eligible(NodeId node, const std::vector<NodeId>& current,
+              const std::set<NodeId>& dead) {
+  return dead.count(node) == 0 &&
+         std::find(current.begin(), current.end(), node) == current.end();
+}
+
+}  // namespace
+
+NodeId BlockPlacementPolicy::ChooseReplacement(
+    const std::string& /*path*/, const std::vector<NodeId>& current,
+    int num_nodes, const std::set<NodeId>& dead) {
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (Eligible(node, current, dead)) return node;
+  }
+  return kAnyNode;
+}
+
+NodeId DefaultPlacementPolicy::ChooseReplacement(
+    const std::string& /*path*/, const std::vector<NodeId>& current,
+    int num_nodes, const std::set<NodeId>& dead) {
+  // Random eligible node, like the default policy's initial placement.
+  int eligible = 0;
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (Eligible(node, current, dead)) ++eligible;
+  }
+  if (eligible == 0) return kAnyNode;
+  uint64_t pick = rng_.Uniform(eligible);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (Eligible(node, current, dead) && pick-- == 0) return node;
+  }
+  return kAnyNode;
+}
+
+std::string SplitDirectoryOf(const std::string& path) {
+  // Path shape: /a/b/sN/file — the parent component must be "s<digits>".
+  const size_t last_slash = path.rfind('/');
+  if (last_slash == std::string::npos || last_slash == 0) return "";
+  const size_t parent_slash = path.rfind('/', last_slash - 1);
+  if (parent_slash == std::string::npos) return "";
+  const std::string parent =
+      path.substr(parent_slash + 1, last_slash - parent_slash - 1);
+  if (parent.size() < 2 || parent[0] != 's') return "";
+  for (size_t i = 1; i < parent.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(parent[i]))) return "";
+  }
+  return path.substr(0, last_slash);
+}
+
+NodeId ColumnPlacementPolicy::ChooseReplacement(
+    const std::string& path, const std::vector<NodeId>& current,
+    int num_nodes, const std::set<NodeId>& dead) {
+  const std::string split_dir = SplitDirectoryOf(path);
+  auto it = split_dir_targets_.find(split_dir);
+  if (split_dir.empty() || it == split_dir_targets_.end()) {
+    return fallback_.ChooseReplacement(path, current, num_nodes, dead);
+  }
+  // Repair the directory's cached target set once: drop dead nodes, then
+  // top it back up. Every under-replicated block of the directory is
+  // steered to the same fresh nodes, so co-location survives the failure.
+  std::vector<NodeId>& targets = it->second;
+  const size_t want = targets.size();
+  targets.erase(std::remove_if(targets.begin(), targets.end(),
+                               [&](NodeId n) { return dead.count(n) > 0; }),
+                targets.end());
+  while (targets.size() < want) {
+    const NodeId fresh =
+        fallback_.ChooseReplacement(path, targets, num_nodes, dead);
+    if (fresh == kAnyNode) break;
+    targets.push_back(fresh);
+  }
+  for (NodeId t : targets) {
+    if (Eligible(t, current, dead)) return t;
+  }
+  return fallback_.ChooseReplacement(path, current, num_nodes, dead);
+}
+
+std::vector<NodeId> ColumnPlacementPolicy::ChooseTargets(
+    const std::string& path, int block_index, int num_nodes,
+    int replication) {
+  const std::string split_dir = SplitDirectoryOf(path);
+  if (split_dir.empty()) {
+    return fallback_.ChooseTargets(path, block_index, num_nodes, replication);
+  }
+  auto it = split_dir_targets_.find(split_dir);
+  if (it == split_dir_targets_.end()) {
+    // First block of the split-directory: load-balance with the default
+    // policy, then pin every subsequent block to the same replica set
+    // (paper Section 4.3: co-location at split-directory granularity).
+    it = split_dir_targets_
+             .emplace(split_dir, fallback_.ChooseTargets(path, block_index,
+                                                         num_nodes,
+                                                         replication))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace colmr

@@ -1,0 +1,86 @@
+#ifndef COLMR_HDFS_PLACEMENT_H_
+#define COLMR_HDFS_PLACEMENT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hdfs/cluster.h"
+
+namespace colmr {
+
+/// Chooses which datanodes receive the replicas of a new block — the HDFS
+/// extensibility point (dfs.block.replicator.classname) the paper's
+/// ColumnPlacementPolicy plugs into (Section 4.2).
+class BlockPlacementPolicy {
+ public:
+  virtual ~BlockPlacementPolicy() = default;
+
+  /// Returns `replication` distinct node ids for a new block of `path`.
+  /// `block_index` is the ordinal of the block within its file.
+  virtual std::vector<NodeId> ChooseTargets(const std::string& path,
+                                            int block_index, int num_nodes,
+                                            int replication) = 0;
+
+  /// Chooses a node to host a new replica of an under-replicated block
+  /// (re-replication after a datanode failure — flagged as future work in
+  /// the paper and implemented here). `current` holds the surviving
+  /// replicas; the result must avoid them and every node in `dead`.
+  /// Returns kAnyNode when no eligible node exists.
+  virtual NodeId ChooseReplacement(const std::string& path,
+                                   const std::vector<NodeId>& current,
+                                   int num_nodes,
+                                   const std::set<NodeId>& dead);
+};
+
+/// HDFS default policy: each block independently gets a random replica
+/// set, so the column files of a split end up scattered (paper Fig. 3a).
+class DefaultPlacementPolicy : public BlockPlacementPolicy {
+ public:
+  explicit DefaultPlacementPolicy(uint64_t seed = 42) : rng_(seed) {}
+
+  std::vector<NodeId> ChooseTargets(const std::string& path, int block_index,
+                                    int num_nodes, int replication) override;
+
+  NodeId ChooseReplacement(const std::string& path,
+                           const std::vector<NodeId>& current, int num_nodes,
+                           const std::set<NodeId>& dead) override;
+
+ private:
+  Random rng_;
+};
+
+/// Extracts the split-directory prefix of a path if it follows the CIF
+/// naming convention (".../s<digits>/<file>"), else returns "".
+std::string SplitDirectoryOf(const std::string& path);
+
+/// The paper's CPP: all files inside one split-directory share the replica
+/// set chosen (by the default policy) for the first block written there,
+/// so a map task scheduled on any replica node reads every column locally
+/// (Fig. 3b). Paths outside the naming convention fall back to the default
+/// policy.
+class ColumnPlacementPolicy final : public BlockPlacementPolicy {
+ public:
+  explicit ColumnPlacementPolicy(uint64_t seed = 42) : fallback_(seed) {}
+
+  std::vector<NodeId> ChooseTargets(const std::string& path, int block_index,
+                                    int num_nodes, int replication) override;
+
+  /// Re-replicates all files of a split-directory onto the SAME fresh
+  /// node, so co-location survives datanode failures: the cached target
+  /// set of the directory is repaired once and every block follows it.
+  NodeId ChooseReplacement(const std::string& path,
+                           const std::vector<NodeId>& current, int num_nodes,
+                           const std::set<NodeId>& dead) override;
+
+ private:
+  DefaultPlacementPolicy fallback_;
+  std::map<std::string, std::vector<NodeId>> split_dir_targets_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_HDFS_PLACEMENT_H_

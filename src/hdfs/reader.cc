@@ -1,0 +1,125 @@
+#include "hdfs/reader.h"
+
+#include <algorithm>
+
+namespace colmr {
+
+BufferedReader::BufferedReader(std::unique_ptr<FileReader> file,
+                               uint64_t buffer_size)
+    : file_(std::move(file)),
+      buffer_size_(buffer_size == 0 ? 128 * 1024 : buffer_size),
+      position_(0),
+      buffer_start_(0) {}
+
+Status BufferedReader::Fill(size_t min_bytes) {
+  // Compact: drop bytes before the cursor.
+  if (position_ >= buffer_start_ + buffer_.size()) {
+    buffer_.clear();
+    buffer_start_ = position_;
+  } else if (position_ > buffer_start_) {
+    buffer_.erase(0, position_ - buffer_start_);
+    buffer_start_ = position_;
+  }
+  const uint64_t fetch_from = buffer_start_ + buffer_.size();
+  if (fetch_from >= file_->size()) return Status::OK();
+  uint64_t want = std::max<uint64_t>(buffer_size_,
+                                     min_bytes > buffer_.size()
+                                         ? min_bytes - buffer_.size()
+                                         : 0);
+  std::string chunk;
+  COLMR_RETURN_IF_ERROR(file_->Read(fetch_from, want, &chunk));
+  if (!ever_read_) {
+    // Initial positioning of the stream counts as one seek.
+    ever_read_ = true;
+    if (file_->stats() != nullptr) file_->stats()->seeks += 1;
+  }
+  buffer_.append(chunk);
+  return Status::OK();
+}
+
+Status BufferedReader::Peek(size_t n, Slice* out) {
+  const size_t have = buffer_start_ + buffer_.size() > position_
+                          ? buffer_start_ + buffer_.size() - position_
+                          : 0;
+  if (have < n) {
+    COLMR_RETURN_IF_ERROR(Fill(n));
+  }
+  const size_t offset = position_ - buffer_start_;
+  *out = Slice(buffer_.data() + offset, buffer_.size() - offset);
+  return Status::OK();
+}
+
+void BufferedReader::Consume(size_t n) { position_ += n; }
+
+Status BufferedReader::Seek(uint64_t offset) {
+  if (offset >= buffer_start_ && offset <= buffer_start_ + buffer_.size()) {
+    position_ = offset;
+    return Status::OK();
+  }
+  // Out-of-window reposition: charge a seek and discard the buffer.
+  // Bytes already prefetched stay charged — that waste is the point of
+  // modelling reads at io.file.buffer.size granularity.
+  buffer_.clear();
+  buffer_start_ = offset;
+  position_ = offset;
+  if (ever_read_ && file_->stats() != nullptr) file_->stats()->seeks += 1;
+  return Status::OK();
+}
+
+Status BufferedReader::Skip(uint64_t n) {
+  const uint64_t target = std::min(position_ + n, file_->size());
+  const uint64_t buffered_end = buffer_start_ + buffer_.size();
+  if (target <= buffered_end) {
+    position_ = target;
+    return Status::OK();
+  }
+  // Short forward skips are cheaper to read through than to reposition
+  // (what real buffered streams do): the skipped bytes are still fetched
+  // and charged, but no seek is incurred. Only skips landing well beyond
+  // the next prefetch window become a true seek that saves I/O.
+  if (target - buffered_end <= 2 * buffer_size_) {
+    uint64_t fetch_from = buffered_end;
+    while (fetch_from < target && fetch_from < file_->size()) {
+      std::string chunk;
+      COLMR_RETURN_IF_ERROR(file_->Read(fetch_from, buffer_size_, &chunk));
+      if (chunk.empty()) break;
+      fetch_from += chunk.size();
+      buffer_ = std::move(chunk);
+      buffer_start_ = fetch_from - buffer_.size();
+    }
+    position_ = target;
+    return Status::OK();
+  }
+  return Seek(target);
+}
+
+Status BufferedReader::ReadVarint64(uint64_t* value) {
+  Slice view;
+  COLMR_RETURN_IF_ERROR(Peek(10, &view));
+  const char* start = view.data();
+  COLMR_RETURN_IF_ERROR(GetVarint64(&view, value));
+  Consume(view.data() - start);
+  return Status::OK();
+}
+
+Status BufferedReader::ReadFixed32(uint32_t* value) {
+  Slice view;
+  COLMR_RETURN_IF_ERROR(Peek(4, &view));
+  Slice cursor = view;
+  COLMR_RETURN_IF_ERROR(GetFixed32(&cursor, value));
+  Consume(4);
+  return Status::OK();
+}
+
+Status BufferedReader::ReadBytes(size_t n, std::string* out) {
+  out->clear();
+  n = std::min<uint64_t>(n, Remaining());
+  Slice view;
+  COLMR_RETURN_IF_ERROR(Peek(n, &view));
+  if (view.size() < n) return Status::Corruption("short read");
+  out->assign(view.data(), n);
+  Consume(n);
+  return Status::OK();
+}
+
+}  // namespace colmr

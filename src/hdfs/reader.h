@@ -1,0 +1,70 @@
+#ifndef COLMR_HDFS_READER_H_
+#define COLMR_HDFS_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "hdfs/mini_hdfs.h"
+
+namespace colmr {
+
+/// Sequential reader over an HDFS file that fetches in io.file.buffer.size
+/// chunks, exactly like Hadoop's buffered streams. All format readers pull
+/// their bytes through this class, so the IoStats they accumulate include
+/// prefetch amplification: a 2 KB column chunk still costs a full buffer
+/// fetch. This is the mechanism behind the paper's observation that RCFile
+/// reads 20x more bytes than CIF when projecting one column (Section 6.2).
+class BufferedReader {
+ public:
+  /// buffer_size == 0 uses the filesystem's configured io_buffer_size.
+  BufferedReader(std::unique_ptr<FileReader> file, uint64_t buffer_size);
+
+  BufferedReader(const BufferedReader&) = delete;
+  BufferedReader& operator=(const BufferedReader&) = delete;
+
+  uint64_t size() const { return file_->size(); }
+  uint64_t position() const { return position_; }
+  bool AtEnd() const { return position_ >= file_->size(); }
+  uint64_t Remaining() const { return file_->size() - position_; }
+
+  /// Makes at least min(n, Remaining()) bytes available ahead of the
+  /// cursor and returns a view of everything buffered (possibly more than
+  /// n). The view is invalidated by any other call.
+  Status Peek(size_t n, Slice* out);
+
+  /// Advances the cursor by n buffered bytes. n must not exceed the length
+  /// of the last Peek result.
+  void Consume(size_t n);
+
+  /// Repositions the cursor. Jumping outside the buffered range counts a
+  /// seek and discards the buffer (prefetched bytes stay charged).
+  Status Seek(uint64_t offset);
+
+  /// Skips n bytes forward: consumes from the buffer when possible,
+  /// otherwise seeks — skipping more than the buffered window is how skip
+  /// lists turn into real I/O savings.
+  Status Skip(uint64_t n);
+
+  // Convenience decoders over Peek/Consume.
+  Status ReadVarint64(uint64_t* value);
+  Status ReadFixed32(uint32_t* value);
+  /// Reads exactly min(n, Remaining()) bytes into *out (replaced).
+  Status ReadBytes(size_t n, std::string* out);
+
+ private:
+  Status Fill(size_t min_bytes);
+
+  std::unique_ptr<FileReader> file_;
+  uint64_t buffer_size_;
+  uint64_t position_;       // logical cursor in the file
+  uint64_t buffer_start_;   // file offset of buffer_[0]
+  std::string buffer_;
+  bool ever_read_ = false;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_HDFS_READER_H_

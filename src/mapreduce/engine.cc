@@ -1,0 +1,230 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/stopwatch.h"
+#include "serde/encoding.h"
+
+namespace colmr {
+
+namespace {
+
+/// Emitter that appends into a vector; used for both map and reduce output.
+class VectorEmitter final : public Emitter {
+ public:
+  void Emit(Value key, Value value) override {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<Value, Value>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<Value, Value>> pairs_;
+};
+
+}  // namespace
+
+NodeId JobRunner::ScheduleSplit(const InputSplit& split,
+                                std::vector<int>* node_load, int total_splits,
+                                bool* data_local) const {
+  const int num_nodes = fs_->config().num_nodes;
+  // A node is "busy" once it holds more than its balanced share of tasks.
+  const int fair_share =
+      (total_splits + num_nodes - 1) / std::max(1, num_nodes);
+
+  NodeId best_local = kAnyNode;
+  for (NodeId node : split.locations) {
+    if (node < 0 || node >= num_nodes || fs_->IsNodeDead(node)) continue;
+    if (best_local == kAnyNode || (*node_load)[node] < (*node_load)[best_local]) {
+      best_local = node;
+    }
+  }
+  if (best_local != kAnyNode && (*node_load)[best_local] < fair_share) {
+    *data_local = true;
+    return best_local;
+  }
+  // Fall back to the globally least-loaded live node (rack-locality is
+  // not modelled): the task will read some or all of its data remotely.
+  NodeId least = kAnyNode;
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (fs_->IsNodeDead(node)) continue;
+    if (least == kAnyNode || (*node_load)[node] < (*node_load)[least]) {
+      least = node;
+    }
+  }
+  *data_local = std::find(split.locations.begin(), split.locations.end(),
+                          least) != split.locations.end();
+  return least;
+}
+
+Status JobRunner::Run(const Job& job, JobReport* report) {
+  *report = JobReport();
+  if (!job.input_format) {
+    return Status::InvalidArgument("job has no input format");
+  }
+  if (!job.mapper) {
+    return Status::InvalidArgument("job has no mapper");
+  }
+
+  std::vector<InputSplit> splits;
+  COLMR_RETURN_IF_ERROR(job.input_format->GetSplits(fs_, job.config, &splits));
+  if (splits.empty()) {
+    return Status::InvalidArgument("input produced no splits");
+  }
+
+  // ---- Map phase: execute every task, measuring CPU and counting I/O.
+  std::vector<std::pair<Value, Value>> map_output;
+  std::vector<int> node_load(fs_->config().num_nodes, 0);
+  std::vector<double> task_times;
+  task_times.reserve(splits.size());
+
+  for (size_t i = 0; i < splits.size(); ++i) {
+    TaskReport task;
+    task.split_index = static_cast<int>(i);
+    task.node = ScheduleSplit(splits[i], &node_load,
+                              static_cast<int>(splits.size()),
+                              &task.data_local);
+    if (task.node != kAnyNode) node_load[task.node] += 1;
+
+    ReadContext context{task.node, &task.io};
+    std::unique_ptr<RecordReader> reader;
+    COLMR_RETURN_IF_ERROR(job.input_format->CreateRecordReader(
+        fs_, job.config, splits[i], context, &reader));
+
+    VectorEmitter emitter;
+    Stopwatch watch;
+    while (reader->Next()) {
+      job.mapper(reader->record(), &emitter);
+      ++task.input_records;
+    }
+    // Map-side combine: sort this task's output, fold runs of equal keys
+    // through the combiner, and ship the (usually much smaller) result.
+    if (job.combiner && !emitter.pairs().empty()) {
+      auto& pairs = emitter.pairs();
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first.Compare(b.first) < 0;
+                       });
+      VectorEmitter combined;
+      size_t i = 0;
+      while (i < pairs.size()) {
+        size_t j = i;
+        std::vector<Value> values;
+        while (j < pairs.size() &&
+               pairs[j].first.Compare(pairs[i].first) == 0) {
+          values.push_back(std::move(pairs[j].second));
+          ++j;
+        }
+        job.combiner(pairs[i].first, values, &combined);
+        i = j;
+      }
+      pairs = std::move(combined.pairs());
+    }
+    task.cpu_seconds = watch.ElapsedSeconds();
+    COLMR_RETURN_IF_ERROR(reader->status());
+
+    task.output_records = emitter.pairs().size();
+    task.sim_seconds =
+        cost_model_.TaskSeconds({task.cpu_seconds, task.io});
+    task_times.push_back(task.sim_seconds);
+
+    report->map_input_records += task.input_records;
+    report->map_output_records += task.output_records;
+    report->bytes_read_local += task.io.local_bytes;
+    report->bytes_read_remote += task.io.remote_bytes;
+    report->map_cpu_seconds += task.cpu_seconds;
+    if (task.data_local) {
+      report->data_local_tasks += 1;
+    } else {
+      report->remote_tasks += 1;
+    }
+
+    for (auto& pair : emitter.pairs()) {
+      report->map_output_bytes +=
+          TaggedEncodedSize(pair.first) + TaggedEncodedSize(pair.second);
+      map_output.push_back(std::move(pair));
+    }
+    report->map_tasks.push_back(std::move(task));
+  }
+  report->map_phase_seconds = cost_model_.MapPhaseSeconds(task_times);
+  double task_time_sum = 0;
+  for (double t : task_times) task_time_sum += t;
+  report->map_slot_seconds =
+      task_time_sum / std::max(1, fs_->config().TotalMapSlots());
+
+  // ---- Shuffle + reduce (skipped for map-only jobs).
+  if (job.reducer) {
+    const int num_reducers =
+        job.config.num_reduce_tasks > 0
+            ? job.config.num_reduce_tasks
+            : fs_->config().num_nodes * fs_->config().reduce_slots_per_node;
+
+    // Partition by key hash, then sort each partition (Hadoop's
+    // sort-merge shuffle, collapsed to an in-memory sort).
+    std::vector<std::vector<std::pair<Value, Value>>> partitions(num_reducers);
+    std::hash<std::string> hasher;
+    for (auto& pair : map_output) {
+      const size_t p = hasher(pair.first.ToString()) % num_reducers;
+      partitions[p].push_back(std::move(pair));
+    }
+
+    Stopwatch reduce_watch;
+    double max_reducer_seconds = 0;
+    for (auto& partition : partitions) {
+      Stopwatch task_watch;
+      std::stable_sort(partition.begin(), partition.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first.Compare(b.first) < 0;
+                       });
+      VectorEmitter emitter;
+      size_t i = 0;
+      while (i < partition.size()) {
+        size_t j = i;
+        std::vector<Value> values;
+        while (j < partition.size() &&
+               partition[j].first.Compare(partition[i].first) == 0) {
+          values.push_back(partition[j].second);
+          ++j;
+        }
+        job.reducer(partition[i].first, values, &emitter);
+        i = j;
+      }
+      max_reducer_seconds =
+          std::max(max_reducer_seconds, task_watch.ElapsedSeconds());
+      for (auto& pair : emitter.pairs()) {
+        report->output.push_back(std::move(pair));
+      }
+    }
+    report->reduce_output_records = report->output.size();
+    report->reduce_phase_seconds = max_reducer_seconds;
+
+    // Shuffle: reducers pull their partitions in parallel over the
+    // network; the phase lasts as long as the largest per-reducer pull.
+    const double bytes_per_reducer =
+        static_cast<double>(report->map_output_bytes) /
+        std::max(1, num_reducers);
+    report->shuffle_seconds =
+        bytes_per_reducer / (fs_->config().network_bandwidth_mbps * 1e6);
+
+    // Materialize the reduce output as text part files when requested.
+    if (!job.config.output_path.empty()) {
+      std::unique_ptr<FileWriter> writer;
+      COLMR_RETURN_IF_ERROR(
+          fs_->Create(job.config.output_path + "/part-r-00000", &writer));
+      for (const auto& [key, value] : report->output) {
+        std::string line = key.ToString() + "\t" + value.ToString() + "\n";
+        writer->Append(line);
+      }
+      COLMR_RETURN_IF_ERROR(writer->Close());
+    }
+  } else {
+    report->output = std::move(map_output);
+  }
+
+  report->total_seconds = report->map_phase_seconds +
+                          report->shuffle_seconds +
+                          report->reduce_phase_seconds;
+  return Status::OK();
+}
+
+}  // namespace colmr

@@ -1,0 +1,40 @@
+#ifndef COLMR_MAPREDUCE_ENGINE_H_
+#define COLMR_MAPREDUCE_ENGINE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "hdfs/cost_model.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/job.h"
+
+namespace colmr {
+
+/// Runs MapReduce jobs against a MiniHdfs. Tasks execute for real (the
+/// map/reduce functions run and their CPU time is measured); cluster
+/// effects — locality-aware slot scheduling, local vs remote reads, the
+/// shuffle — are simulated through the cost model, producing the "map
+/// time" and "total time" columns of the paper's Table 1.
+class JobRunner {
+ public:
+  explicit JobRunner(MiniHdfs* fs) : fs_(fs), cost_model_(fs->config()) {}
+
+  /// Executes the job; fills *report. Fails fast on the first task error.
+  Status Run(const Job& job, JobReport* report);
+
+ private:
+  /// Picks the execution node for a split: the least-loaded node holding
+  /// all of the split's files, unless it is overloaded relative to a
+  /// balanced assignment, in which case the scheduler falls back to the
+  /// globally least-loaded node and the task reads remotely — Hadoop's
+  /// "Node 1 is busy" situation from the paper's Fig. 3 discussion.
+  NodeId ScheduleSplit(const InputSplit& split, std::vector<int>* node_load,
+                       int total_splits, bool* data_local) const;
+
+  MiniHdfs* fs_;
+  CostModel cost_model_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_MAPREDUCE_ENGINE_H_

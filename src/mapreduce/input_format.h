@@ -1,0 +1,87 @@
+#ifndef COLMR_MAPREDUCE_INPUT_FORMAT_H_
+#define COLMR_MAPREDUCE_INPUT_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/mini_hdfs.h"
+#include "serde/record.h"
+
+namespace colmr {
+
+struct JobConfig;
+
+/// A unit of map-task scheduling: a non-overlapping partition of the input
+/// (paper Section 2). Row formats produce one split per byte range of a
+/// file; CIF produces one split per split-directory (a set of column
+/// files).
+struct InputSplit {
+  /// Files the split reads. Row formats: exactly one. CIF: one per
+  /// projected column plus the schema file.
+  std::vector<std::string> paths;
+  /// Byte range within paths[0] for row formats ([0, file size) for CIF).
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  /// Nodes on which every path of the split is fully local. Used by the
+  /// scheduler for locality-aware assignment; may be empty (Fig. 3a).
+  std::vector<NodeId> locations;
+};
+
+/// Iterates the records of one split. The Next()/record() protocol mirrors
+/// Hadoop's RecordReader: the Record reference stays valid until the next
+/// call to Next().
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Advances to the next record. Returns false at end of split or on
+  /// error; check status() to distinguish.
+  virtual bool Next() = 0;
+
+  /// The current record. Only valid after Next() returned true.
+  virtual Record& record() = 0;
+
+  /// OK unless iteration stopped due to an error.
+  virtual Status status() const = 0;
+};
+
+/// The central Hadoop extensibility point the paper builds on (Section 2):
+/// generates splits for the scheduler and turns a split into typed records
+/// for the map function.
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Enumerates the splits of the job's input paths.
+  virtual Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                           std::vector<InputSplit>* splits) = 0;
+
+  /// Opens a reader over one split in the given read context (the node the
+  /// map task was scheduled on, plus its IoStats sink).
+  virtual Status CreateRecordReader(
+      MiniHdfs* fs, const JobConfig& config, const InputSplit& split,
+      const ReadContext& context,
+      std::unique_ptr<RecordReader>* reader) = 0;
+};
+
+/// Splits each input file into block-sized byte ranges whose locations are
+/// the block's replica nodes — the generic splitter row formats share.
+/// Ranges are later snapped to record boundaries by the format's reader
+/// (sync markers, newline scan).
+Status ComputeFileSplits(MiniHdfs* fs,
+                         const std::vector<std::string>& input_paths,
+                         uint64_t split_size,
+                         std::vector<InputSplit>* splits);
+
+/// Expands a path to the files beneath it: a file path yields itself; a
+/// directory yields all (recursive) files under it, sorted.
+Status ExpandInputPaths(MiniHdfs* fs, const std::vector<std::string>& paths,
+                        std::vector<std::string>* files);
+
+}  // namespace colmr
+
+#endif  // COLMR_MAPREDUCE_INPUT_FORMAT_H_

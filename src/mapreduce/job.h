@@ -1,0 +1,117 @@
+#ifndef COLMR_MAPREDUCE_JOB_H_
+#define COLMR_MAPREDUCE_JOB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdfs/cluster.h"
+#include "mapreduce/input_format.h"
+#include "serde/record.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+/// Per-job configuration, the moral equivalent of Hadoop's JobConf.
+struct JobConfig {
+  std::vector<std::string> input_paths;
+  std::string output_path;
+
+  /// Column projection pushed into the InputFormat
+  /// (ColumnInputFormat.setColumns in the paper). Empty = all columns.
+  /// Row formats ignore it — they must read everything regardless, which
+  /// is precisely the asymmetry the experiments measure.
+  std::vector<std::string> projection;
+
+  /// CIF record construction strategy (paper Section 5.1): false =
+  /// EagerRecord, true = LazyRecord.
+  bool lazy_records = false;
+
+  /// CIF schema-evolution tolerance: when true, a projected column that a
+  /// split-directory predates (e.g. day partitions ingested before an
+  /// AddColumn) materializes as Null instead of failing the job.
+  bool null_for_missing_columns = false;
+
+  /// Number of reduce tasks; 0 = one per reduce slot.
+  int num_reduce_tasks = 0;
+
+  /// Split size hint for row formats; 0 = HDFS block size.
+  uint64_t split_size = 0;
+};
+
+/// Receives the key/value pairs produced by map and reduce functions.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(Value key, Value value) = 0;
+};
+
+/// User map function: called once per input record.
+using MapFn = std::function<void(Record& record, Emitter* out)>;
+
+/// User reduce function: called once per distinct key with all its values.
+using ReduceFn = std::function<void(const Value& key,
+                                    const std::vector<Value>& values,
+                                    Emitter* out)>;
+
+/// A configured MapReduce job. reducer may be null (map-only job);
+/// combiner may be null (no map-side aggregation).
+struct Job {
+  JobConfig config;
+  std::shared_ptr<InputFormat> input_format;
+  MapFn mapper;
+  ReduceFn reducer;
+  /// Map-side pre-aggregation, run over each map task's output before the
+  /// shuffle (Hadoop's Combiner). Must be algebraically compatible with
+  /// the reducer (same key/value types in and out).
+  ReduceFn combiner;
+};
+
+/// Execution record of a single map task.
+struct TaskReport {
+  int split_index = 0;
+  NodeId node = kAnyNode;
+  bool data_local = false;   // all split files local to the node
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  double cpu_seconds = 0;
+  IoStats io;
+  double sim_seconds = 0;    // per the cost model
+};
+
+/// What Run() returns: everything Table 1 reports, plus detail.
+struct JobReport {
+  std::vector<TaskReport> map_tasks;
+
+  uint64_t bytes_read_local = 0;
+  uint64_t bytes_read_remote = 0;
+  uint64_t BytesRead() const { return bytes_read_local + bytes_read_remote; }
+
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+  uint64_t reduce_output_records = 0;
+
+  double map_cpu_seconds = 0;       // summed over tasks (measured)
+  /// Simulated cluster map-phase makespan (LPT packing onto slots).
+  double map_phase_seconds = 0;
+  /// The paper's "map time" metric (Section 6.3): total simulated task
+  /// time divided by the cluster's map slots — per-slot average load.
+  double map_slot_seconds = 0;
+  double shuffle_seconds = 0;       // simulated
+  double reduce_phase_seconds = 0;  // simulated
+  double total_seconds = 0;         // simulated end-to-end
+
+  int data_local_tasks = 0;
+  int remote_tasks = 0;
+
+  /// Collected reduce output (key, value) pairs, when the job has a
+  /// reducer; also written to config.output_path as text part files.
+  std::vector<std::pair<Value, Value>> output;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_MAPREDUCE_JOB_H_

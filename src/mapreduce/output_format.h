@@ -1,0 +1,34 @@
+#ifndef COLMR_MAPREDUCE_OUTPUT_FORMAT_H_
+#define COLMR_MAPREDUCE_OUTPUT_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+/// Sink half of the storage-format abstraction (Hadoop's OutputFormat /
+/// RecordWriter). Each storage format provides one implementation; the
+/// loader utilities copy datasets between formats by pairing any
+/// RecordReader with any DatasetWriter.
+class DatasetWriter {
+ public:
+  virtual ~DatasetWriter() = default;
+
+  /// Appends one record (a Value of record kind conforming to the
+  /// writer's schema).
+  virtual Status WriteRecord(const Value& record) = 0;
+
+  /// Flushes and seals the dataset. Must be called; no writes after.
+  virtual Status Close() = 0;
+
+  /// Records written so far.
+  virtual uint64_t record_count() const = 0;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_MAPREDUCE_OUTPUT_FORMAT_H_

@@ -1,0 +1,96 @@
+#include "serde/boxed.h"
+
+#include "common/coding.h"
+#include "serde/encoding.h"
+
+namespace colmr {
+
+Status DecodeBoxed(const Schema& schema, Slice* input,
+                   std::unique_ptr<BoxedValue>* out) {
+  switch (schema.kind()) {
+    case TypeKind::kNull: {
+      *out = std::make_unique<BoxedNull>();
+      return Status::OK();
+    }
+    case TypeKind::kBool: {
+      if (input->empty()) return Status::Corruption("boxed: bool");
+      auto boxed = std::make_unique<BoxedBool>();
+      boxed->value = (*input)[0] != 0;
+      input->RemovePrefix(1);
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kInt32: {
+      auto boxed = std::make_unique<BoxedInt>();
+      COLMR_RETURN_IF_ERROR(GetZigZag32(input, &boxed->value));
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kInt64: {
+      auto boxed = std::make_unique<BoxedLong>();
+      COLMR_RETURN_IF_ERROR(GetZigZag64(input, &boxed->value));
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kDouble: {
+      auto boxed = std::make_unique<BoxedDouble>();
+      COLMR_RETURN_IF_ERROR(GetDouble(input, &boxed->value));
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      Slice s;
+      COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
+      auto boxed = std::make_unique<BoxedString>();
+      boxed->value.assign(s.data(), s.size());
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kArray: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      auto boxed = std::make_unique<BoxedArray>();
+      boxed->elements.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        std::unique_ptr<BoxedValue> element;
+        COLMR_RETURN_IF_ERROR(DecodeBoxed(*schema.element(), input, &element));
+        boxed->elements.push_back(std::move(element));
+      }
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      auto boxed = std::make_unique<BoxedMap>();
+      for (uint64_t i = 0; i < count; ++i) {
+        Slice key;
+        COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
+        std::unique_ptr<BoxedValue> value;
+        COLMR_RETURN_IF_ERROR(DecodeBoxed(*schema.element(), input, &value));
+        boxed->entries.emplace(std::string(key.data(), key.size()),
+                               std::move(value));
+      }
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    case TypeKind::kRecord: {
+      auto boxed = std::make_unique<BoxedRecord>();
+      boxed->fields.reserve(schema.fields().size());
+      for (const auto& field : schema.fields()) {
+        std::unique_ptr<BoxedValue> value;
+        COLMR_RETURN_IF_ERROR(DecodeBoxed(*field.type, input, &value));
+        boxed->fields.push_back(std::move(value));
+      }
+      *out = std::move(boxed);
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("boxed decode: unsupported kind");
+  }
+}
+
+}  // namespace colmr

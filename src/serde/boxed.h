@@ -1,0 +1,96 @@
+#ifndef COLMR_SERDE_BOXED_H_
+#define COLMR_SERDE_BOXED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "serde/schema.h"
+
+namespace colmr {
+
+/// "Java-style" deserialization path used to reproduce the paper's
+/// Appendix B.1 experiment (Fig. 8). Every decoded value becomes a
+/// separately heap-allocated polymorphic object, map entries live in a
+/// node-based std::map, and access goes through virtual dispatch — the
+/// same allocation-per-value and pointer-chasing behaviour that makes
+/// Hadoop's deserialization CPU-bound. The native path (serde/encoding.h
+/// or raw buffer casts) is the C++ comparison point.
+struct BoxedValue {
+  virtual ~BoxedValue() = default;
+  /// Folds the value into an accumulator so benchmarks can prove the
+  /// decoded data was actually touched.
+  virtual uint64_t Checksum() const = 0;
+};
+
+struct BoxedNull final : BoxedValue {
+  uint64_t Checksum() const override { return 0; }
+};
+
+struct BoxedBool final : BoxedValue {
+  bool value = false;
+  uint64_t Checksum() const override { return value ? 1 : 0; }
+};
+
+struct BoxedInt final : BoxedValue {
+  int32_t value = 0;
+  uint64_t Checksum() const override { return static_cast<uint64_t>(value); }
+};
+
+struct BoxedLong final : BoxedValue {
+  int64_t value = 0;
+  uint64_t Checksum() const override { return static_cast<uint64_t>(value); }
+};
+
+struct BoxedDouble final : BoxedValue {
+  double value = 0;
+  uint64_t Checksum() const override {
+    return static_cast<uint64_t>(value * 1000.0);
+  }
+};
+
+struct BoxedString final : BoxedValue {
+  std::string value;
+  uint64_t Checksum() const override {
+    return value.empty() ? 0 : static_cast<uint8_t>(value[0]) + value.size();
+  }
+};
+
+struct BoxedMap final : BoxedValue {
+  std::map<std::string, std::unique_ptr<BoxedValue>> entries;
+  uint64_t Checksum() const override {
+    uint64_t sum = 0;
+    for (const auto& [k, v] : entries) sum += k.size() + v->Checksum();
+    return sum;
+  }
+};
+
+struct BoxedArray final : BoxedValue {
+  std::vector<std::unique_ptr<BoxedValue>> elements;
+  uint64_t Checksum() const override {
+    uint64_t sum = 0;
+    for (const auto& e : elements) sum += e->Checksum();
+    return sum;
+  }
+};
+
+struct BoxedRecord final : BoxedValue {
+  std::vector<std::unique_ptr<BoxedValue>> fields;
+  uint64_t Checksum() const override {
+    uint64_t sum = 0;
+    for (const auto& f : fields) sum += f->Checksum();
+    return sum;
+  }
+};
+
+/// Decodes one value from the standard wire format (serde/encoding.h) into
+/// a freshly allocated boxed object tree, consuming bytes from *input.
+Status DecodeBoxed(const Schema& schema, Slice* input,
+                   std::unique_ptr<BoxedValue>* out);
+
+}  // namespace colmr
+
+#endif  // COLMR_SERDE_BOXED_H_

@@ -1,0 +1,334 @@
+#include "serde/encoding.h"
+
+#include "common/coding.h"
+
+namespace colmr {
+
+Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
+  if (schema.kind() != value.kind()) {
+    // Allow int32 values in int64 columns (widening), nothing else.
+    if (!(schema.kind() == TypeKind::kInt64 &&
+          value.kind() == TypeKind::kInt32)) {
+      return Status::InvalidArgument("encode: value kind does not match schema");
+    }
+  }
+  switch (schema.kind()) {
+    case TypeKind::kNull:
+      return Status::OK();
+    case TypeKind::kBool:
+      dst->PushBack(value.bool_value() ? 1 : 0);
+      return Status::OK();
+    case TypeKind::kInt32:
+      PutZigZag32(dst, value.int32_value());
+      return Status::OK();
+    case TypeKind::kInt64:
+      PutZigZag64(dst, value.int64_value());
+      return Status::OK();
+    case TypeKind::kDouble:
+      PutDouble(dst, value.double_value());
+      return Status::OK();
+    case TypeKind::kString:
+    case TypeKind::kBytes:
+      PutLengthPrefixed(dst, value.string_value());
+      return Status::OK();
+    case TypeKind::kArray: {
+      const auto& elems = value.elements();
+      PutVarint64(dst, elems.size());
+      for (const Value& e : elems) {
+        COLMR_RETURN_IF_ERROR(EncodeValue(*schema.element(), e, dst));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      const auto& entries = value.map_entries();
+      PutVarint64(dst, entries.size());
+      for (const auto& [k, v] : entries) {
+        PutLengthPrefixed(dst, k);
+        COLMR_RETURN_IF_ERROR(EncodeValue(*schema.element(), v, dst));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kRecord: {
+      const auto& fields = schema.fields();
+      const auto& values = value.elements();
+      if (fields.size() != values.size()) {
+        return Status::InvalidArgument("encode: record arity mismatch");
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        COLMR_RETURN_IF_ERROR(EncodeValue(*fields[i].type, values[i], dst));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("encode: unknown kind");
+}
+
+Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
+  switch (schema.kind()) {
+    case TypeKind::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case TypeKind::kBool: {
+      if (input->empty()) return Status::Corruption("decode: bool");
+      *out = Value::Bool((*input)[0] != 0);
+      input->RemovePrefix(1);
+      return Status::OK();
+    }
+    case TypeKind::kInt32: {
+      int32_t v;
+      COLMR_RETURN_IF_ERROR(GetZigZag32(input, &v));
+      *out = Value::Int32(v);
+      return Status::OK();
+    }
+    case TypeKind::kInt64: {
+      int64_t v;
+      COLMR_RETURN_IF_ERROR(GetZigZag64(input, &v));
+      *out = Value::Int64(v);
+      return Status::OK();
+    }
+    case TypeKind::kDouble: {
+      double v;
+      COLMR_RETURN_IF_ERROR(GetDouble(input, &v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      Slice s;
+      COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
+      std::string owned(s.data(), s.size());
+      *out = schema.kind() == TypeKind::kString
+                 ? Value::String(std::move(owned))
+                 : Value::Bytes(std::move(owned));
+      return Status::OK();
+    }
+    case TypeKind::kArray: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        Value v;
+        COLMR_RETURN_IF_ERROR(DecodeValue(*schema.element(), input, &v));
+        elems.push_back(std::move(v));
+      }
+      *out = Value::Array(std::move(elems));
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      Value::MapEntries entries;
+      entries.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        Slice key;
+        COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
+        Value v;
+        COLMR_RETURN_IF_ERROR(DecodeValue(*schema.element(), input, &v));
+        entries.emplace_back(std::string(key.data(), key.size()),
+                             std::move(v));
+      }
+      *out = Value::Map(std::move(entries));
+      return Status::OK();
+    }
+    case TypeKind::kRecord: {
+      std::vector<Value> values;
+      values.reserve(schema.fields().size());
+      for (const auto& field : schema.fields()) {
+        Value v;
+        COLMR_RETURN_IF_ERROR(DecodeValue(*field.type, input, &v));
+        values.push_back(std::move(v));
+      }
+      *out = Value::Record(std::move(values));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("decode: unknown kind");
+}
+
+Status SkipValue(const Schema& schema, Slice* input) {
+  switch (schema.kind()) {
+    case TypeKind::kNull:
+      return Status::OK();
+    case TypeKind::kBool:
+      if (input->empty()) return Status::Corruption("skip: bool");
+      input->RemovePrefix(1);
+      return Status::OK();
+    case TypeKind::kInt32:
+    case TypeKind::kInt64: {
+      uint64_t v;
+      return GetVarint64(input, &v);
+    }
+    case TypeKind::kDouble: {
+      if (input->size() < 8) return Status::Corruption("skip: double");
+      input->RemovePrefix(8);
+      return Status::OK();
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      Slice s;
+      return GetLengthPrefixed(input, &s);
+    }
+    case TypeKind::kArray: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      for (uint64_t i = 0; i < count; ++i) {
+        COLMR_RETURN_IF_ERROR(SkipValue(*schema.element(), input));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      for (uint64_t i = 0; i < count; ++i) {
+        Slice key;
+        COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
+        COLMR_RETURN_IF_ERROR(SkipValue(*schema.element(), input));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kRecord: {
+      for (const auto& field : schema.fields()) {
+        COLMR_RETURN_IF_ERROR(SkipValue(*field.type, input));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("skip: unknown kind");
+}
+
+size_t EncodedSize(const Schema& schema, const Value& value) {
+  Buffer tmp;
+  EncodeValue(schema, value, &tmp);
+  return tmp.size();
+}
+
+void EncodeTaggedValue(const Value& value, Buffer* dst) {
+  dst->PushBack(static_cast<char>(value.kind()));
+  switch (value.kind()) {
+    case TypeKind::kNull:
+      break;
+    case TypeKind::kBool:
+      dst->PushBack(value.bool_value() ? 1 : 0);
+      break;
+    case TypeKind::kInt32:
+      PutZigZag32(dst, value.int32_value());
+      break;
+    case TypeKind::kInt64:
+      PutZigZag64(dst, value.int64_value());
+      break;
+    case TypeKind::kDouble:
+      PutDouble(dst, value.double_value());
+      break;
+    case TypeKind::kString:
+    case TypeKind::kBytes:
+      PutLengthPrefixed(dst, value.string_value());
+      break;
+    case TypeKind::kArray:
+    case TypeKind::kRecord: {
+      const auto& elems = value.elements();
+      PutVarint64(dst, elems.size());
+      for (const Value& e : elems) EncodeTaggedValue(e, dst);
+      break;
+    }
+    case TypeKind::kMap: {
+      const auto& entries = value.map_entries();
+      PutVarint64(dst, entries.size());
+      for (const auto& [k, v] : entries) {
+        PutLengthPrefixed(dst, k);
+        EncodeTaggedValue(v, dst);
+      }
+      break;
+    }
+  }
+}
+
+Status DecodeTaggedValue(Slice* input, Value* out) {
+  if (input->empty()) return Status::Corruption("tagged: empty");
+  const TypeKind kind = static_cast<TypeKind>((*input)[0]);
+  input->RemovePrefix(1);
+  switch (kind) {
+    case TypeKind::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case TypeKind::kBool: {
+      if (input->empty()) return Status::Corruption("tagged: bool");
+      *out = Value::Bool((*input)[0] != 0);
+      input->RemovePrefix(1);
+      return Status::OK();
+    }
+    case TypeKind::kInt32: {
+      int32_t v;
+      COLMR_RETURN_IF_ERROR(GetZigZag32(input, &v));
+      *out = Value::Int32(v);
+      return Status::OK();
+    }
+    case TypeKind::kInt64: {
+      int64_t v;
+      COLMR_RETURN_IF_ERROR(GetZigZag64(input, &v));
+      *out = Value::Int64(v);
+      return Status::OK();
+    }
+    case TypeKind::kDouble: {
+      double v;
+      COLMR_RETURN_IF_ERROR(GetDouble(input, &v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      Slice s;
+      COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
+      std::string owned(s.data(), s.size());
+      *out = kind == TypeKind::kString ? Value::String(std::move(owned))
+                                       : Value::Bytes(std::move(owned));
+      return Status::OK();
+    }
+    case TypeKind::kArray:
+    case TypeKind::kRecord: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        Value v;
+        COLMR_RETURN_IF_ERROR(DecodeTaggedValue(input, &v));
+        elems.push_back(std::move(v));
+      }
+      *out = kind == TypeKind::kArray ? Value::Array(std::move(elems))
+                                      : Value::Record(std::move(elems));
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      uint64_t count;
+      COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
+      COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
+      Value::MapEntries entries;
+      entries.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        Slice key;
+        COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
+        Value v;
+        COLMR_RETURN_IF_ERROR(DecodeTaggedValue(input, &v));
+        entries.emplace_back(std::string(key.data(), key.size()),
+                             std::move(v));
+      }
+      *out = Value::Map(std::move(entries));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("tagged: unknown kind");
+}
+
+size_t TaggedEncodedSize(const Value& value) {
+  Buffer tmp;
+  EncodeTaggedValue(value, &tmp);
+  return tmp.size();
+}
+
+}  // namespace colmr

@@ -1,0 +1,67 @@
+#ifndef COLMR_SERDE_ENCODING_H_
+#define COLMR_SERDE_ENCODING_H_
+
+#include "common/buffer.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+// Avro-style binary wire format:
+//   bool    -> 1 byte (0/1)
+//   int     -> zigzag varint
+//   long    -> zigzag varint
+//   double  -> 8-byte little-endian IEEE 754
+//   string  -> varint length + bytes
+//   bytes   -> varint length + bytes
+//   array   -> varint count + encoded elements
+//   map     -> varint count + (varint key length + key + encoded value)*
+//   record  -> fields encoded in schema order, no framing
+//   null    -> nothing
+
+/// Appends the binary encoding of value to dst. value must conform to
+/// schema (kind mismatch returns InvalidArgument).
+Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst);
+
+/// Decodes one value, consuming its bytes from *input.
+Status DecodeValue(const Schema& schema, Slice* input, Value* out);
+
+/// Advances *input past one encoded value without materializing it.
+/// This is what skipping a record costs when a column file has no skip
+/// list (paper Section 5.2): cheaper than DecodeValue (no allocation),
+/// but still O(encoded size).
+Status SkipValue(const Schema& schema, Slice* input);
+
+/// Number of bytes the encoding of value occupies.
+size_t EncodedSize(const Schema& schema, const Value& value);
+
+/// Decoder hardening: a container count read from untrusted bytes is
+/// rejected unless it is plausible for the bytes that remain (at most
+/// one element per remaining byte, with a floor for containers of
+/// zero-byte elements). Keeps fuzzed counts from driving allocations.
+inline Status CheckContainerCount(uint64_t count, size_t remaining_bytes) {
+  constexpr uint64_t kZeroByteElementFloor = 4096;
+  if (count > remaining_bytes && count > kZeroByteElementFloor) {
+    return Status::Corruption("container count exceeds remaining input");
+  }
+  return Status::OK();
+}
+
+// Schema-less, self-describing encoding (1 tag byte per value). Used where
+// no schema is in scope: intermediate map-output key/value pairs in the
+// shuffle, and spill files.
+
+/// Appends the tagged encoding of value to dst. Works for every kind.
+void EncodeTaggedValue(const Value& value, Buffer* dst);
+
+/// Decodes one tagged value, consuming from *input.
+Status DecodeTaggedValue(Slice* input, Value* out);
+
+/// Size in bytes of the tagged encoding.
+size_t TaggedEncodedSize(const Value& value);
+
+}  // namespace colmr
+
+#endif  // COLMR_SERDE_ENCODING_H_

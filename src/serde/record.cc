@@ -1,0 +1,35 @@
+#include "serde/record.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace colmr {
+
+const Value& Record::GetOrDie(std::string_view name) {
+  const Value* value = nullptr;
+  Status s = Get(name, &value);
+  if (!s.ok()) {
+    std::fprintf(stderr, "Record::GetOrDie(%.*s): %s\n",
+                 static_cast<int>(name.size()), name.data(),
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return *value;
+}
+
+EagerRecord::EagerRecord(Schema::Ptr schema, Value record_value)
+    : schema_(std::move(schema)), value_(std::move(record_value)) {}
+
+Status EagerRecord::Get(std::string_view name, const Value** value) {
+  const int index = schema_->FieldIndex(std::string(name));
+  if (index < 0) {
+    return Status::NotFound("no such field: " + std::string(name));
+  }
+  if (static_cast<size_t>(index) >= value_.elements().size()) {
+    return Status::NotFound("field not materialized: " + std::string(name));
+  }
+  *value = &value_.elements()[index];
+  return Status::OK();
+}
+
+}  // namespace colmr

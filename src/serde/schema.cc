@@ -1,0 +1,265 @@
+#include "serde/schema.h"
+
+#include <cctype>
+
+namespace colmr {
+
+// Schema's constructor is private; the factories construct through this
+// file-local friend-free helper that forwards to operator new.
+struct SchemaBuilder {
+  static Schema::Ptr Make(TypeKind kind) {
+    return Schema::Ptr(new Schema(kind));
+  }
+  static Schema* MakeRaw(TypeKind kind) { return new Schema(kind); }
+};
+
+Schema::Ptr Schema::Null() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kNull));
+  return *s;
+}
+Schema::Ptr Schema::Bool() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kBool));
+  return *s;
+}
+Schema::Ptr Schema::Int32() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kInt32));
+  return *s;
+}
+Schema::Ptr Schema::Int64() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kInt64));
+  return *s;
+}
+Schema::Ptr Schema::Double() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kDouble));
+  return *s;
+}
+Schema::Ptr Schema::String() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kString));
+  return *s;
+}
+Schema::Ptr Schema::Bytes() {
+  static const Ptr* s = new Ptr(SchemaBuilder::Make(TypeKind::kBytes));
+  return *s;
+}
+
+Schema::Ptr Schema::Array(Ptr element) {
+  Schema* s = SchemaBuilder::MakeRaw(TypeKind::kArray);
+  s->element_ = std::move(element);
+  return Ptr(s);
+}
+
+Schema::Ptr Schema::Map(Ptr value) {
+  Schema* s = SchemaBuilder::MakeRaw(TypeKind::kMap);
+  s->element_ = std::move(value);
+  return Ptr(s);
+}
+
+Schema::Ptr Schema::Record(std::string name, std::vector<Field> fields) {
+  Schema* s = SchemaBuilder::MakeRaw(TypeKind::kRecord);
+  s->name_ = std::move(name);
+  s->fields_ = std::move(fields);
+  return Ptr(s);
+}
+
+Schema::Ptr Schema::WithField(const Ptr& record, Field field) {
+  std::vector<Field> fields = record->fields();
+  fields.push_back(std::move(field));
+  return Record(record->record_name(), std::move(fields));
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  switch (kind_) {
+    case TypeKind::kNull:
+      return "null";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kInt32:
+      return "int";
+    case TypeKind::kInt64:
+      return "long";
+    case TypeKind::kDouble:
+      return "double";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kBytes:
+      return "bytes";
+    case TypeKind::kArray:
+      return "array<" + element_->ToString() + ">";
+    case TypeKind::kMap:
+      return "map<" + element_->ToString() + ">";
+    case TypeKind::kRecord: {
+      std::string out = "record";
+      if (!name_.empty()) out += " " + name_;
+      out += " { ";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].name + ": " + fields_[i].type->ToString();
+      }
+      out += " }";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kArray:
+    case TypeKind::kMap:
+      return element_->Equals(*other.element_);
+    case TypeKind::kRecord: {
+      if (name_ != other.name_ || fields_.size() != other.fields_.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name ||
+            !fields_[i].type->Equals(*other.fields_[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+// Recursive-descent parser for the text schema syntax.
+class SchemaParser {
+ public:
+  explicit SchemaParser(const std::string& text) : text_(text) {}
+
+  Status Parse(Schema::Ptr* out) {
+    COLMR_RETURN_IF_ERROR(ParseType(out));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("schema: trailing characters at " +
+                                     std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Status ParseType(Schema::Ptr* out) {
+    const std::string ident = ReadIdent();
+    if (ident == "null") {
+      *out = Schema::Null();
+    } else if (ident == "bool" || ident == "boolean") {
+      *out = Schema::Bool();
+    } else if (ident == "int") {
+      *out = Schema::Int32();
+    } else if (ident == "long" || ident == "time") {
+      *out = Schema::Int64();
+    } else if (ident == "double" || ident == "float") {
+      *out = Schema::Double();
+    } else if (ident == "string") {
+      *out = Schema::String();
+    } else if (ident == "bytes") {
+      *out = Schema::Bytes();
+    } else if (ident == "array" || ident == "map") {
+      if (!Consume('<')) {
+        return Status::InvalidArgument("schema: expected '<' after " + ident);
+      }
+      Schema::Ptr element;
+      COLMR_RETURN_IF_ERROR(ParseType(&element));
+      // Allow map<string,string> by treating a first "string" key type as
+      // noise: maps are always string-keyed.
+      if (ident == "map" && Consume(',')) {
+        COLMR_RETURN_IF_ERROR(ParseType(&element));
+      }
+      if (!Consume('>')) {
+        return Status::InvalidArgument("schema: expected '>' after " + ident);
+      }
+      *out = (ident == "array") ? Schema::Array(std::move(element))
+                                : Schema::Map(std::move(element));
+    } else if (ident == "record") {
+      SkipSpace();
+      std::string name;
+      if (pos_ < text_.size() && text_[pos_] != '{') name = ReadIdent();
+      if (!Consume('{')) {
+        return Status::InvalidArgument("schema: expected '{' in record");
+      }
+      std::vector<Schema::Field> fields;
+      SkipSpace();
+      if (!Consume('}')) {
+        for (;;) {
+          std::string field_name = ReadIdent();
+          if (field_name.empty()) {
+            return Status::InvalidArgument("schema: expected field name");
+          }
+          if (!Consume(':')) {
+            return Status::InvalidArgument("schema: expected ':' after " +
+                                           field_name);
+          }
+          Schema::Ptr type;
+          COLMR_RETURN_IF_ERROR(ParseType(&type));
+          fields.push_back({std::move(field_name), std::move(type)});
+          if (Consume('}')) break;
+          if (!Consume(',')) {
+            return Status::InvalidArgument("schema: expected ',' or '}'");
+          }
+        }
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        for (size_t j = i + 1; j < fields.size(); ++j) {
+          if (fields[i].name == fields[j].name) {
+            return Status::InvalidArgument("schema: duplicate field " +
+                                           fields[i].name);
+          }
+        }
+      }
+      *out = Schema::Record(std::move(name), std::move(fields));
+    } else {
+      return Status::InvalidArgument("schema: unknown type '" + ident + "'");
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status Schema::Parse(const std::string& text, Ptr* schema) {
+  return SchemaParser(text).Parse(schema);
+}
+
+}  // namespace colmr

@@ -1,0 +1,129 @@
+#include "workload/crawl.h"
+
+namespace colmr {
+
+Schema::Ptr CrawlSchema() {
+  return Schema::Record(
+      "URLInfo",
+      {{"url", Schema::String()},
+       {"srcUrl", Schema::String()},
+       {"fetchTime", Schema::Int64()},
+       {"inlink", Schema::Array(Schema::String())},
+       {"metadata", Schema::Map(Schema::String())},
+       {"annotations", Schema::Map(Schema::String())},
+       {"content", Schema::Bytes()}});
+}
+
+namespace {
+
+constexpr int kVocabularySize = 4096;
+
+const char* const kMetadataKeys[] = {
+    "content-type",   "content-length", "server",     "charset",
+    "language",       "encoding",       "location",   "last-modified",
+    "cache-control",  "etag",           "expires",    "connection",
+};
+constexpr int kNumMetadataKeys = 12;
+
+const char* const kAnnotationKeys[] = {
+    "title", "topic", "rank", "spam-score", "dup-group", "geo", "mime-class",
+};
+constexpr int kNumAnnotationKeys = 7;
+
+}  // namespace
+
+CrawlGenerator::CrawlGenerator(uint64_t seed,
+                               const CrawlGeneratorOptions& options)
+    : rng_(seed),
+      word_picker_(kVocabularySize, 0.8, seed ^ 0xC0FFEE),
+      options_(options),
+      fetch_time_(1293840000) {  // 2011-01-01, the paper's load date
+  vocabulary_.reserve(kVocabularySize);
+  Random vocab_rng(seed ^ 0xBEEF);
+  for (int i = 0; i < kVocabularySize; ++i) {
+    vocabulary_.push_back(vocab_rng.NextWord(3 + vocab_rng.Uniform(8)));
+  }
+  content_types_ = {"text/html",      "text/plain",      "application/pdf",
+                    "text/xml",       "application/json", "image/png",
+                    "application/xhtml+xml"};
+}
+
+std::string CrawlGenerator::NextUrl(bool jp) {
+  std::string url = "http://";
+  if (jp) {
+    url += "www.ibm.com/jp/";
+  } else {
+    url += vocabulary_[rng_.Uniform(kVocabularySize)] + ".com/";
+  }
+  const int segments = 1 + static_cast<int>(rng_.Uniform(3));
+  for (int i = 0; i < segments; ++i) {
+    url += vocabulary_[rng_.Uniform(kVocabularySize)];
+    url += '/';
+  }
+  url += vocabulary_[rng_.Uniform(kVocabularySize)] + ".html";
+  return url;
+}
+
+std::string CrawlGenerator::NextContent() {
+  const uint32_t target = static_cast<uint32_t>(rng_.UniformRange(
+      options_.min_content_bytes, options_.max_content_bytes));
+  std::string content;
+  content.reserve(target + 16);
+  // Zipf-skewed words: repeated tokens give the codecs page-like
+  // compressibility (HTML tags, common words).
+  while (content.size() < target) {
+    content += "<p>";
+    content += vocabulary_[word_picker_.Next()];
+    content += ' ';
+    content += vocabulary_[word_picker_.Next()];
+    content += "</p>";
+  }
+  return content;
+}
+
+Value CrawlGenerator::Next() {
+  const bool jp = rng_.NextDouble() < options_.jp_selectivity;
+  std::string url = NextUrl(jp);
+
+  std::vector<Value> inlinks;
+  const int n_inlinks = static_cast<int>(
+      rng_.Uniform(static_cast<uint64_t>(options_.max_inlinks) + 1));
+  inlinks.reserve(n_inlinks);
+  for (int i = 0; i < n_inlinks; ++i) {
+    inlinks.push_back(Value::String(NextUrl(false)));
+  }
+
+  Value::MapEntries metadata;
+  metadata.reserve(options_.metadata_entries);
+  metadata.emplace_back(
+      kContentTypeKey,
+      Value::String(content_types_[rng_.Uniform(content_types_.size())]));
+  for (int i = 1; i < options_.metadata_entries; ++i) {
+    std::string value = vocabulary_[word_picker_.Next()];
+    for (int w = 1; w < options_.metadata_value_words; ++w) {
+      value += ' ';
+      value += vocabulary_[word_picker_.Next()];
+    }
+    metadata.emplace_back(kMetadataKeys[(i) % kNumMetadataKeys],
+                          Value::String(std::move(value)));
+  }
+
+  Value::MapEntries annotations;
+  annotations.reserve(options_.annotation_entries);
+  for (int i = 0; i < options_.annotation_entries; ++i) {
+    annotations.emplace_back(kAnnotationKeys[i % kNumAnnotationKeys],
+                             Value::String(vocabulary_[word_picker_.Next()]));
+  }
+
+  return Value::Record({
+      Value::String(std::move(url)),
+      Value::String(NextUrl(false)),
+      Value::Int64(fetch_time_++),
+      Value::Array(std::move(inlinks)),
+      Value::Map(std::move(metadata)),
+      Value::Map(std::move(annotations)),
+      Value::Bytes(NextContent()),
+  });
+}
+
+}  // namespace colmr

@@ -1,0 +1,66 @@
+#ifndef COLMR_WORKLOAD_CRAWL_H_
+#define COLMR_WORKLOAD_CRAWL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+/// The URLInfo schema of the paper's intranet crawl (Fig. 2):
+///   record URLInfo { url: string, srcUrl: string, fetchTime: long,
+///                    inlink: array<string>, metadata: map<string>,
+///                    annotations: map<string>, content: bytes }
+Schema::Ptr CrawlSchema();
+
+/// Substring the Section 6.3 job filters on.
+inline constexpr char kCrawlFilterPattern[] = "ibm.com/jp";
+/// Metadata map key whose distinct values the job collects.
+inline constexpr char kContentTypeKey[] = "content-type";
+
+struct CrawlGeneratorOptions {
+  /// Fraction of URLs containing kCrawlFilterPattern (paper: ~6%).
+  double jp_selectivity = 0.06;
+  /// Content column size range (bytes). The paper's content column holds
+  /// "several KB of data for each record" and dominates the row size.
+  uint32_t min_content_bytes = 2000;
+  uint32_t max_content_bytes = 5000;
+  /// Entries in the metadata / annotations maps.
+  int metadata_entries = 10;
+  /// Words per metadata value (longer values make the map column heavier,
+  /// like real HTTP response headers with multi-token values).
+  int metadata_value_words = 1;
+  int annotation_entries = 5;
+  int max_inlinks = 5;
+};
+
+/// Deterministic stand-in for the paper's Nutch crawl: page-like content
+/// built from a Zipf-skewed vocabulary (so codecs see realistic
+/// compressible text), HTTP-response-style metadata maps with keys drawn
+/// from a small universe (dictionary-friendly, as the paper observes), and
+/// a controllable fraction of `ibm.com/jp` URLs.
+class CrawlGenerator {
+ public:
+  CrawlGenerator(uint64_t seed, const CrawlGeneratorOptions& options);
+
+  Value Next();
+
+ private:
+  std::string NextUrl(bool jp);
+  std::string NextContent();
+
+  Random rng_;
+  Zipf word_picker_;
+  CrawlGeneratorOptions options_;
+  std::vector<std::string> vocabulary_;
+  std::vector<std::string> content_types_;
+  int64_t fetch_time_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_WORKLOAD_CRAWL_H_

@@ -1,0 +1,66 @@
+#include "workload/synthetic.h"
+
+namespace colmr {
+
+Schema::Ptr MicrobenchSchema() {
+  std::vector<Schema::Field> fields;
+  for (int i = 0; i < 6; ++i) {
+    fields.push_back({"str" + std::to_string(i), Schema::String()});
+  }
+  for (int i = 0; i < 6; ++i) {
+    fields.push_back({"int" + std::to_string(i), Schema::Int32()});
+  }
+  fields.push_back({"map0", Schema::Map(Schema::Int32())});
+  return Schema::Record("Micro", std::move(fields));
+}
+
+MicrobenchGenerator::MicrobenchGenerator(uint64_t seed, double hit_fraction)
+    : rng_(seed), hit_fraction_(hit_fraction) {}
+
+Value MicrobenchGenerator::Next() {
+  std::vector<Value> values;
+  values.reserve(13);
+  for (int i = 0; i < 6; ++i) {
+    std::string s = rng_.NextString(20, 40);
+    if (i == 0 && hit_fraction_ > 0 && rng_.NextDouble() < hit_fraction_) {
+      s = kMicrobenchMatchPrefix + s;
+    }
+    values.push_back(Value::String(std::move(s)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    values.push_back(
+        Value::Int32(static_cast<int32_t>(rng_.UniformRange(1, 10000))));
+  }
+  Value::MapEntries entries;
+  entries.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    entries.emplace_back(
+        rng_.NextWord(4),
+        Value::Int32(static_cast<int32_t>(rng_.UniformRange(1, 10000))));
+  }
+  values.push_back(Value::Map(std::move(entries)));
+  return Value::Record(std::move(values));
+}
+
+Schema::Ptr WideSchema(int num_columns) {
+  std::vector<Schema::Field> fields;
+  fields.reserve(num_columns);
+  for (int i = 0; i < num_columns; ++i) {
+    fields.push_back({"c" + std::to_string(i), Schema::String()});
+  }
+  return Schema::Record("Wide", std::move(fields));
+}
+
+WideGenerator::WideGenerator(uint64_t seed, int num_columns)
+    : rng_(seed), num_columns_(num_columns) {}
+
+Value WideGenerator::Next() {
+  std::vector<Value> values;
+  values.reserve(num_columns_);
+  for (int i = 0; i < num_columns_; ++i) {
+    values.push_back(Value::String(rng_.NextString(30, 30)));
+  }
+  return Value::Record(std::move(values));
+}
+
+}  // namespace colmr

@@ -1,0 +1,57 @@
+#ifndef COLMR_WORKLOAD_SYNTHETIC_H_
+#define COLMR_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+// Generators for the paper's synthetic datasets. All are deterministic in
+// their seed so experiments and tests are reproducible.
+
+/// Schema of the Section 6.2 microbenchmark dataset: 6 strings, 6 ints,
+/// and one map column.
+Schema::Ptr MicrobenchSchema();
+
+/// Streams microbenchmark records: strings of length 20–40 over readable
+/// ASCII, ints uniform in [1, 10000], and a 10-entry map with 4-char keys
+/// and int values — the exact recipe of Section 6.2.
+class MicrobenchGenerator {
+ public:
+  /// hit_fraction: fraction of records whose first string column starts
+  /// with kMicrobenchMatchPrefix, for the selectivity sweeps (Fig. 10).
+  /// 0 disables the marker entirely.
+  explicit MicrobenchGenerator(uint64_t seed, double hit_fraction = 0.0);
+
+  Value Next();
+
+ private:
+  Random rng_;
+  double hit_fraction_;
+};
+
+/// Prefix carried by "hit" records' first string column.
+inline constexpr char kMicrobenchMatchPrefix[] = "match-";
+
+/// Schema with `num_columns` string columns (c0, c1, ...), for the
+/// record-width experiment (Fig. 11 / Appendix B.5).
+Schema::Ptr WideSchema(int num_columns);
+
+/// Streams wide records: each column a random 30-char string.
+class WideGenerator {
+ public:
+  WideGenerator(uint64_t seed, int num_columns);
+
+  Value Next();
+
+ private:
+  Random rng_;
+  int num_columns_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_WORKLOAD_SYNTHETIC_H_

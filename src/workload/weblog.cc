@@ -1,0 +1,67 @@
+#include "workload/weblog.h"
+
+namespace colmr {
+
+Schema::Ptr WeblogSchema() {
+  return Schema::Record("LogEntry",
+                        {{"ip", Schema::String()},
+                         {"ts", Schema::Int64()},
+                         {"app", Schema::String()},
+                         {"url", Schema::String()},
+                         {"status", Schema::Int32()},
+                         {"bytes", Schema::Int32()},
+                         {"referrer", Schema::String()},
+                         {"agent", Schema::String()},
+                         {"params", Schema::Map(Schema::String())}});
+}
+
+namespace {
+constexpr int kNumUrls = 500;
+}  // namespace
+
+WeblogGenerator::WeblogGenerator(uint64_t seed, int num_apps)
+    : rng_(seed),
+      url_picker_(kNumUrls, 0.9, seed ^ 0x10C),
+      num_apps_(num_apps),
+      ts_(1293840000) {
+  Random setup(seed ^ 0x715);
+  urls_.reserve(kNumUrls);
+  for (int i = 0; i < kNumUrls; ++i) {
+    urls_.push_back("/" + setup.NextWord(4 + setup.Uniform(6)) + "/" +
+                    setup.NextWord(4 + setup.Uniform(8)));
+  }
+  agents_ = {"Mozilla/5.0 (Windows NT 6.1)", "Mozilla/5.0 (Macintosh)",
+             "Mozilla/4.0 (compatible; MSIE 8.0)", "curl/7.21",
+             "Java/1.6.0_23"};
+}
+
+Value WeblogGenerator::Next() {
+  std::string ip = std::to_string(10 + rng_.Uniform(200)) + "." +
+                   std::to_string(rng_.Uniform(256)) + "." +
+                   std::to_string(rng_.Uniform(256)) + "." +
+                   std::to_string(rng_.Uniform(256));
+  const int status_roll = static_cast<int>(rng_.Uniform(100));
+  const int32_t status = status_roll < 90 ? 200
+                         : status_roll < 95 ? 404
+                         : status_roll < 98 ? 302
+                                            : 500;
+  Value::MapEntries params;
+  const int n_params = static_cast<int>(rng_.Uniform(4));
+  for (int i = 0; i < n_params; ++i) {
+    params.emplace_back(rng_.NextWord(4),
+                        Value::String(rng_.NextWord(6)));
+  }
+  return Value::Record({
+      Value::String(std::move(ip)),
+      Value::Int64(ts_ += static_cast<int64_t>(rng_.Uniform(3))),
+      Value::String("app" + std::to_string(rng_.Uniform(num_apps_))),
+      Value::String(urls_[url_picker_.Next()]),
+      Value::Int32(status),
+      Value::Int32(static_cast<int32_t>(rng_.UniformRange(200, 50000))),
+      Value::String(urls_[url_picker_.Next()]),
+      Value::String(agents_[rng_.Uniform(agents_.size())]),
+      Value::Map(std::move(params)),
+  });
+}
+
+}  // namespace colmr

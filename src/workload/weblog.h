@@ -1,0 +1,40 @@
+#ifndef COLMR_WORKLOAD_WEBLOG_H_
+#define COLMR_WORKLOAD_WEBLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace colmr {
+
+/// Web-application access-log schema for the consumer-bank scenario in the
+/// paper's introduction (90-day log retention reports):
+///   record LogEntry { ip: string, ts: long, app: string, url: string,
+///                     status: int, bytes: int, referrer: string,
+///                     agent: string, params: map<string> }
+Schema::Ptr WeblogSchema();
+
+/// Streams access-log records across `num_apps` web applications with
+/// Zipf-skewed URL popularity and a small agent-string universe.
+class WeblogGenerator {
+ public:
+  WeblogGenerator(uint64_t seed, int num_apps = 4);
+
+  Value Next();
+
+ private:
+  Random rng_;
+  Zipf url_picker_;
+  int num_apps_;
+  std::vector<std::string> urls_;
+  std::vector<std::string> agents_;
+  int64_t ts_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_WORKLOAD_WEBLOG_H_

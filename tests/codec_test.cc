@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "compress/codec.h"
+#include "compress/dictionary.h"
+
+namespace colmr {
+namespace {
+
+std::string MakeInput(const std::string& kind, size_t size, uint64_t seed) {
+  Random rng(seed);
+  std::string data;
+  data.reserve(size);
+  if (kind == "zeros") {
+    data.assign(size, '\0');
+  } else if (kind == "random") {
+    while (data.size() < size) {
+      data.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+  } else if (kind == "text") {
+    // Page-like text: a small vocabulary repeated with separators.
+    std::vector<std::string> vocab;
+    for (int i = 0; i < 64; ++i) vocab.push_back(rng.NextWord(3 + i % 8));
+    while (data.size() < size) {
+      data += vocab[rng.Uniform(vocab.size())];
+      data += ' ';
+    }
+  } else if (kind == "runs") {
+    while (data.size() < size) {
+      data.append(1 + rng.Uniform(64), static_cast<char>(rng.Uniform(4)));
+    }
+  }
+  data.resize(size);
+  return data;
+}
+
+// (codec, data kind, size)
+using CodecCase = std::tuple<CodecType, std::string, size_t>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTripTest, RoundTrips) {
+  const auto& [type, kind, size] = GetParam();
+  const Codec* codec = GetCodec(type);
+  ASSERT_NE(codec, nullptr);
+  const std::string input = MakeInput(kind, size, size * 31 + 7);
+  Buffer compressed;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  Buffer output;
+  ASSERT_TRUE(codec->Decompress(compressed.AsSlice(), &output).ok());
+  EXPECT_EQ(output.AsSlice().ToString(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllShapes, CodecRoundTripTest,
+    ::testing::Combine(
+        ::testing::Values(CodecType::kNone, CodecType::kLzf, CodecType::kZlite),
+        ::testing::Values("zeros", "random", "text", "runs"),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{17}, size_t{1000},
+                          size_t{65536}, size_t{1 << 20})));
+
+TEST(CodecTest, CompressibleDataShrinks) {
+  const std::string input = MakeInput("text", 256 * 1024, 3);
+  for (CodecType type : {CodecType::kLzf, CodecType::kZlite}) {
+    Buffer compressed;
+    ASSERT_TRUE(GetCodec(type)->Compress(input, &compressed).ok());
+    EXPECT_LT(compressed.size(), input.size() / 2)
+        << GetCodec(type)->name();
+  }
+}
+
+TEST(CodecTest, ZliteBeatsLzfRatioOnText) {
+  // The design premise of the pair (paper Section 5.3): the ZLIB stand-in
+  // compresses tighter than the LZO stand-in.
+  const std::string input = MakeInput("text", 512 * 1024, 5);
+  Buffer lzf, zlite;
+  ASSERT_TRUE(GetCodec(CodecType::kLzf)->Compress(input, &lzf).ok());
+  ASSERT_TRUE(GetCodec(CodecType::kZlite)->Compress(input, &zlite).ok());
+  EXPECT_LT(zlite.size(), lzf.size());
+}
+
+TEST(CodecTest, DecompressAppendsToExistingOutput) {
+  const Codec* codec = GetCodec(CodecType::kLzf);
+  Buffer compressed;
+  ASSERT_TRUE(codec->Compress(Slice("world"), &compressed).ok());
+  Buffer out;
+  out.Append(Slice("hello "));
+  ASSERT_TRUE(codec->Decompress(compressed.AsSlice(), &out).ok());
+  EXPECT_EQ(out.AsSlice().ToString(), "hello world");
+}
+
+TEST(CodecTest, TruncatedInputIsCorruption) {
+  const std::string input = MakeInput("text", 10000, 11);
+  for (CodecType type : {CodecType::kLzf, CodecType::kZlite}) {
+    const Codec* codec = GetCodec(type);
+    Buffer compressed;
+    ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+    Buffer out;
+    Slice truncated = compressed.AsSlice().Prefix(compressed.size() / 2);
+    EXPECT_TRUE(codec->Decompress(truncated, &out).IsCorruption())
+        << codec->name();
+  }
+}
+
+TEST(CodecTest, NoneCodecSizeMismatchIsCorruption) {
+  const Codec* codec = GetCodec(CodecType::kNone);
+  Buffer compressed;
+  ASSERT_TRUE(codec->Compress(Slice("abcdef"), &compressed).ok());
+  Buffer out;
+  Slice bad = compressed.AsSlice().Prefix(compressed.size() - 1);
+  EXPECT_TRUE(codec->Decompress(bad, &out).IsCorruption());
+}
+
+TEST(CodecTest, NamesResolve) {
+  CodecType type;
+  ASSERT_TRUE(CodecTypeFromName("lzf", &type).ok());
+  EXPECT_EQ(type, CodecType::kLzf);
+  ASSERT_TRUE(CodecTypeFromName("lzo", &type).ok());  // alias
+  EXPECT_EQ(type, CodecType::kLzf);
+  ASSERT_TRUE(CodecTypeFromName("zlib", &type).ok());  // alias
+  EXPECT_EQ(type, CodecType::kZlite);
+  ASSERT_TRUE(CodecTypeFromName("none", &type).ok());
+  EXPECT_TRUE(CodecTypeFromName("gzip9000", &type).IsInvalidArgument());
+}
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.Intern(Slice("content-type")), 0u);
+  EXPECT_EQ(dict.Intern(Slice("server")), 1u);
+  EXPECT_EQ(dict.Intern(Slice("content-type")), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Lookup(1), "server");
+  EXPECT_EQ(dict.Find(Slice("server")), 1);
+  EXPECT_EQ(dict.Find(Slice("missing")), -1);
+}
+
+TEST(DictionaryTest, SerializeRoundTrips) {
+  StringDictionary dict;
+  Random rng(17);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(rng.NextWord(1 + rng.Uniform(12)));
+    dict.Intern(keys.back());
+  }
+  Buffer serialized;
+  dict.Serialize(&serialized);
+  EXPECT_EQ(serialized.size(), dict.SerializedSize());
+
+  StringDictionary decoded;
+  Slice cursor = serialized.AsSlice();
+  ASSERT_TRUE(decoded.Deserialize(&cursor).ok());
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(decoded.size(), dict.size());
+  for (const std::string& key : keys) {
+    EXPECT_EQ(decoded.Find(key), dict.Find(key));
+  }
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  StringDictionary dict;
+  Buffer serialized;
+  dict.Serialize(&serialized);
+  StringDictionary decoded;
+  Slice cursor = serialized.AsSlice();
+  ASSERT_TRUE(decoded.Deserialize(&cursor).ok());
+  EXPECT_EQ(decoded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace colmr

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/buffer.h"
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace colmr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::Corruption("bad block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_FALSE(s.IsIoError());
+  EXPECT_EQ(s.message(), "bad block");
+  EXPECT_EQ(s.ToString(), "Corruption: bad block");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() { return Status::IoError("disk gone"); };
+  auto outer = [&]() -> Status {
+    COLMR_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIoError());
+}
+
+TEST(SliceTest, BasicViews) {
+  std::string data = "hello world";
+  Slice s(data);
+  EXPECT_EQ(s.size(), 11u);
+  EXPECT_EQ(s[0], 'h');
+  EXPECT_EQ(s.Prefix(5).ToString(), "hello");
+  EXPECT_EQ(s.SubSlice(6, 5).ToString(), "world");
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(SliceTest, Compare) {
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(BufferTest, AppendAndTake) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  b.Append("abc", 3);
+  b.PushBack('d');
+  b.Append(Slice("ef"));
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.AsSlice().ToString(), "abcdef");
+  std::string taken = b.TakeString();
+  EXPECT_EQ(taken, "abcdef");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CodingTest, ZigZagMapsSmallMagnitudes) {
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagEncode64(-2), 3u);
+  EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(-123456789)), -123456789);
+  EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(std::numeric_limits<int32_t>::min())),
+            std::numeric_limits<int32_t>::min());
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    Buffer b;
+    PutVarint64(&b, v);
+    EXPECT_EQ(static_cast<int>(b.size()), VarintLength(v));
+    Slice s = b.AsSlice();
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&s, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(CodingTest, TruncatedVarintIsCorruption) {
+  Buffer b;
+  PutVarint64(&b, 1ull << 40);
+  Slice s = b.AsSlice().Prefix(2);
+  uint64_t v;
+  EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
+}
+
+TEST(CodingTest, OverlongVarintIsCorruption) {
+  std::string bad(11, '\x80');
+  Slice s(bad);
+  uint64_t v;
+  EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
+}
+
+TEST(CodingTest, Varint32Overflow) {
+  Buffer b;
+  PutVarint64(&b, 1ull << 33);
+  Slice s = b.AsSlice();
+  uint32_t v;
+  EXPECT_TRUE(GetVarint32(&s, &v).IsCorruption());
+}
+
+TEST(CodingTest, FixedAndDouble) {
+  Buffer b;
+  PutFixed32(&b, 0xDEADBEEF);
+  PutFixed64(&b, 0x0123456789ABCDEFull);
+  PutDouble(&b, 3.14159);
+  Slice s = b.AsSlice();
+  uint32_t v32;
+  uint64_t v64;
+  double d;
+  ASSERT_TRUE(GetFixed32(&s, &v32).ok());
+  ASSERT_TRUE(GetFixed64(&s, &v64).ok());
+  ASSERT_TRUE(GetDouble(&s, &d).ok());
+  EXPECT_EQ(v32, 0xDEADBEEF);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CodingTest, LengthPrefixed) {
+  Buffer b;
+  PutLengthPrefixed(&b, Slice("payload"));
+  PutLengthPrefixed(&b, Slice(""));
+  Slice s = b.AsSlice();
+  Slice a, c;
+  ASSERT_TRUE(GetLengthPrefixed(&s, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&s, &c).ok());
+  EXPECT_EQ(a.ToString(), "payload");
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(CodingTest, TruncatedLengthPrefixedIsCorruption) {
+  Buffer b;
+  PutLengthPrefixed(&b, Slice("payload"));
+  Slice s = b.AsSlice().Prefix(4);
+  Slice out;
+  EXPECT_TRUE(GetLengthPrefixed(&s, &out).IsCorruption());
+}
+
+// Property sweep: varint encode/decode roundtrips for random values drawn
+// from different magnitude bands.
+class VarintRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintRoundTripTest, RandomRoundTrips) {
+  const int shift = GetParam();
+  Random rng(shift * 7919 + 1);
+  Buffer b;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> shift;
+    values.push_back(v);
+    PutVarint64(&b, v);
+    PutZigZag64(&b, static_cast<int64_t>(v) - static_cast<int64_t>(rng.Next()));
+  }
+  Slice s = b.AsSlice();
+  Random rng2(shift * 7919 + 1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v;
+    int64_t z;
+    ASSERT_TRUE(GetVarint64(&s, &v).ok());
+    ASSERT_TRUE(GetZigZag64(&s, &z).ok());
+    EXPECT_EQ(v, values[i]);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(MagnitudeBands, VarintRoundTripTest,
+                         ::testing::Values(0, 8, 16, 24, 32, 40, 48, 56, 63));
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(Crc32(Slice("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Slice("")), 0u);
+}
+
+TEST(Crc32Test, ExtendMatchesWhole) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t cut = 0; cut <= data.size(); cut += 7) {
+    const uint32_t whole = Crc32(Slice(data));
+    const uint32_t split = Crc32Extend(Crc32(Slice(data.data(), cut)),
+                                       Slice(data.data() + cut,
+                                             data.size() - cut));
+    EXPECT_EQ(whole, split);
+  }
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data = "some block of data";
+  const uint32_t before = Crc32(Slice(data));
+  data[5] ^= 0x01;
+  EXPECT_NE(before, Crc32(Slice(data)));
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool any_diff = false;
+  Random a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, StringsRespectLengthAndCharset) {
+  Random rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = rng.NextString(20, 40);
+    EXPECT_GE(s.size(), 20u);
+    EXPECT_LE(s.size(), 40u);
+    for (char c : s) {
+      EXPECT_GE(c, '!');
+      EXPECT_LE(c, '~');
+    }
+    const std::string w = rng.NextWord(4);
+    EXPECT_EQ(w.size(), 4u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Zipf zipf(1000, 0.9, 11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 should be sampled far more often than a uniform draw would
+  // (20000/1000 = 20 expected under uniform).
+  EXPECT_GT(counts[0], 200);
+}
+
+}  // namespace
+}  // namespace colmr

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cif/cif.h"
+#include "cif/cof.h"
+#include "formats/detect.h"
+#include "formats/rcfile/rcfile.h"
+#include "formats/seq/seq_file.h"
+#include "formats/text/text_format.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/engine.h"
+#include "workload/weblog.h"
+
+namespace colmr {
+namespace {
+
+ClusterConfig TestCluster() {
+  ClusterConfig config;
+  config.num_nodes = 10;
+  config.block_size = 32 * 1024;
+  config.io_buffer_size = 4 * 1024;
+  return config;
+}
+
+void WriteCifDataset(MiniHdfs* fs, const std::string& path, int records) {
+  CofOptions options;
+  options.split_target_bytes = 64 * 1024;
+  std::unique_ptr<CofWriter> writer;
+  ASSERT_TRUE(
+      CofWriter::Open(fs, path, WeblogSchema(), options, &writer).ok());
+  WeblogGenerator gen(3);
+  for (int i = 0; i < records; ++i) {
+    ASSERT_TRUE(writer->WriteRecord(gen.Next()).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+}
+
+TEST(NodeFailureTest, KillRemovesReplicas) {
+  auto fs = std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(1));
+  WriteCifDataset(fs.get(), "/logs", 2000);
+
+  EXPECT_EQ(fs->UnderReplicatedBlockCount(), 0u);
+  ASSERT_TRUE(fs->KillNode(4).ok());
+  EXPECT_TRUE(fs->IsNodeDead(4));
+  EXPECT_TRUE(fs->KillNode(4).IsAlreadyExists());
+  EXPECT_TRUE(fs->KillNode(99).IsInvalidArgument());
+  // Some blocks lived on node 4 (10 nodes, 3 replicas -> ~30% of blocks).
+  EXPECT_GT(fs->UnderReplicatedBlockCount(), 0u);
+
+  // Data is still readable from surviving replicas.
+  std::vector<std::string> files;
+  ASSERT_TRUE(ExpandInputPaths(fs.get(), {"/logs"}, &files).ok());
+  for (const std::string& file : files) {
+    std::vector<BlockInfo> blocks;
+    ASSERT_TRUE(fs->GetBlockLocations(file, &blocks).ok());
+    for (const BlockInfo& block : blocks) {
+      EXPECT_GE(block.replicas.size(), 2u);
+      for (NodeId node : block.replicas) EXPECT_NE(node, 4);
+    }
+  }
+}
+
+TEST(NodeFailureTest, ReReplicationUnderCppPreservesCoLocation) {
+  auto fs = std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(2));
+  WriteCifDataset(fs.get(), "/logs", 2000);
+
+  ColumnInputFormat format;
+  JobConfig config;
+  config.input_paths = {"/logs"};
+  std::vector<InputSplit> splits;
+  ASSERT_TRUE(format.GetSplits(fs.get(), config, &splits).ok());
+  ASSERT_GT(splits.size(), 1u);
+  for (const InputSplit& split : splits) {
+    ASSERT_EQ(split.locations.size(), 3u);
+  }
+  // Kill one of the first split's replica nodes.
+  const NodeId victim = splits[0].locations[0];
+  ASSERT_TRUE(fs->KillNode(victim).ok());
+  ASSERT_GT(fs->UnderReplicatedBlockCount(), 0u);
+
+  ASSERT_TRUE(fs->ReReplicate().ok());
+  EXPECT_EQ(fs->UnderReplicatedBlockCount(), 0u);
+
+  // Every split is again co-located on 3 common nodes: CPP repaired each
+  // split-directory as a unit.
+  ASSERT_TRUE(format.GetSplits(fs.get(), config, &splits).ok());
+  for (const InputSplit& split : splits) {
+    EXPECT_EQ(split.locations.size(), 3u);
+    for (NodeId node : split.locations) EXPECT_NE(node, victim);
+  }
+
+  // And the dataset still reads back in full.
+  uint64_t records = 0;
+  for (const InputSplit& split : splits) {
+    std::unique_ptr<RecordReader> reader;
+    ASSERT_TRUE(format
+                    .CreateRecordReader(fs.get(), config, split, ReadContext{},
+                                        &reader)
+                    .ok());
+    while (reader->Next()) ++records;
+    ASSERT_TRUE(reader->status().ok());
+  }
+  EXPECT_EQ(records, 2000u);
+}
+
+TEST(NodeFailureTest, SchedulerAvoidsDeadNodes) {
+  auto fs = std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(3));
+  WriteCifDataset(fs.get(), "/logs", 1500);
+  ASSERT_TRUE(fs->KillNode(0).ok());
+  ASSERT_TRUE(fs->KillNode(1).ok());
+
+  Job job;
+  job.config.input_paths = {"/logs"};
+  job.config.projection = {"status"};
+  job.input_format = std::make_shared<ColumnInputFormat>();
+  job.mapper = [](Record& record, Emitter* out) {
+    out->Emit(record.GetOrDie("status"), Value::Int32(1));
+  };
+  JobRunner runner(fs.get());
+  JobReport report;
+  ASSERT_TRUE(runner.Run(job, &report).ok());
+  for (const TaskReport& task : report.map_tasks) {
+    EXPECT_NE(task.node, 0);
+    EXPECT_NE(task.node, 1);
+  }
+}
+
+TEST(ImageTest, SaveLoadRoundTrips) {
+  const std::string image = ::testing::TempDir() + "/colmr_fs_image.bin";
+  {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(4));
+    WriteCifDataset(fs.get(), "/logs", 500);
+    ASSERT_TRUE(fs->KillNode(7).ok());
+    ASSERT_TRUE(fs->SaveImage(image).ok());
+  }
+  auto fs = std::make_unique<MiniHdfs>(
+      ClusterConfig{}, std::make_unique<ColumnPlacementPolicy>(4));
+  ASSERT_TRUE(fs->LoadImage(image).ok());
+  EXPECT_EQ(fs->config().num_nodes, 10);
+  EXPECT_TRUE(fs->IsNodeDead(7));
+
+  // Full dataset read-back after the round trip.
+  ColumnInputFormat format;
+  JobConfig config;
+  config.input_paths = {"/logs"};
+  std::vector<InputSplit> splits;
+  ASSERT_TRUE(format.GetSplits(fs.get(), config, &splits).ok());
+  uint64_t records = 0;
+  for (const InputSplit& split : splits) {
+    std::unique_ptr<RecordReader> reader;
+    ASSERT_TRUE(format
+                    .CreateRecordReader(fs.get(), config, split, ReadContext{},
+                                        &reader)
+                    .ok());
+    while (reader->Next()) ++records;
+    ASSERT_TRUE(reader->status().ok());
+  }
+  EXPECT_EQ(records, 500u);
+
+  // Writes after a load get fresh, non-colliding block ids.
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/extra", &writer).ok());
+  writer->Append(Slice("hello"));
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t size;
+  ASSERT_TRUE(fs->GetFileSize("/extra", &size).ok());
+  EXPECT_EQ(size, 5u);
+  std::remove(image.c_str());
+}
+
+TEST(ImageTest, RejectsGarbage) {
+  const std::string image = ::testing::TempDir() + "/colmr_bad_image.bin";
+  {
+    FILE* f = std::fopen(image.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an image", f);
+    std::fclose(f);
+  }
+  auto fs = MiniHdfs::CreateDefault();
+  EXPECT_TRUE(fs->LoadImage(image).IsCorruption());
+  EXPECT_TRUE(fs->LoadImage("/no/such/file").IsIoError());
+  std::remove(image.c_str());
+}
+
+TEST(DetectTest, IdentifiesEveryFormat) {
+  auto fs = std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(5));
+  Schema::Ptr schema = WeblogSchema();
+  WeblogGenerator gen(6);
+  const Value record = gen.Next();
+
+  std::unique_ptr<TextWriter> txt;
+  ASSERT_TRUE(TextWriter::Open(fs.get(), "/t", schema, &txt).ok());
+  ASSERT_TRUE(txt->WriteRecord(record).ok());
+  ASSERT_TRUE(txt->Close().ok());
+  std::unique_ptr<SeqWriter> seq;
+  ASSERT_TRUE(
+      SeqWriter::Open(fs.get(), "/s", schema, SeqWriterOptions{}, &seq).ok());
+  ASSERT_TRUE(seq->WriteRecord(record).ok());
+  ASSERT_TRUE(seq->Close().ok());
+  std::unique_ptr<RcFileWriter> rc;
+  ASSERT_TRUE(
+      RcFileWriter::Open(fs.get(), "/r", schema, RcFileWriterOptions{}, &rc)
+          .ok());
+  ASSERT_TRUE(rc->WriteRecord(record).ok());
+  ASSERT_TRUE(rc->Close().ok());
+  std::unique_ptr<CofWriter> cof;
+  ASSERT_TRUE(
+      CofWriter::Open(fs.get(), "/c", schema, CofOptions{}, &cof).ok());
+  ASSERT_TRUE(cof->WriteRecord(record).ok());
+  ASSERT_TRUE(cof->Close().ok());
+
+  const std::pair<const char*, const char*> expectations[] = {
+      {"/t", "txt"}, {"/s", "seq"}, {"/r", "rcfile"}, {"/c", "cif"}};
+  for (const auto& [path, expected] : expectations) {
+    std::shared_ptr<InputFormat> format;
+    std::string name;
+    ASSERT_TRUE(DetectInputFormat(fs.get(), path, &format, &name).ok())
+        << path;
+    EXPECT_EQ(name, expected) << path;
+    EXPECT_EQ(format->name(), expected);
+  }
+  std::shared_ptr<InputFormat> format;
+  EXPECT_FALSE(DetectInputFormat(fs.get(), "/missing", &format, nullptr).ok());
+}
+
+TEST(CombinerTest, ReducesShuffleBytesWithSameResult) {
+  auto fs = std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(8));
+  WriteCifDataset(fs.get(), "/logs", 3000);
+
+  auto make_job = [&](bool with_combiner) {
+    Job job;
+    job.config.input_paths = {"/logs"};
+    job.config.projection = {"status"};
+    job.input_format = std::make_shared<ColumnInputFormat>();
+    job.mapper = [](Record& record, Emitter* out) {
+      out->Emit(record.GetOrDie("status"), Value::Int64(1));
+    };
+    ReduceFn sum = [](const Value& key, const std::vector<Value>& values,
+                      Emitter* out) {
+      int64_t total = 0;
+      for (const Value& v : values) total += v.int64_value();
+      out->Emit(key, Value::Int64(total));
+    };
+    job.reducer = sum;
+    if (with_combiner) job.combiner = sum;
+    return job;
+  };
+
+  JobRunner runner(fs.get());
+  JobReport without, with;
+  ASSERT_TRUE(runner.Run(make_job(false), &without).ok());
+  ASSERT_TRUE(runner.Run(make_job(true), &with).ok());
+
+  // Same aggregate answer...
+  auto to_map = [](const JobReport& report) {
+    std::map<int32_t, int64_t> result;
+    for (const auto& [key, value] : report.output) {
+      result[key.int32_value()] = value.int64_value();
+    }
+    return result;
+  };
+  EXPECT_EQ(to_map(without), to_map(with));
+  int64_t total = 0;
+  for (const auto& [status, count] : to_map(with)) total += count;
+  EXPECT_EQ(total, 3000);
+
+  // ...with far fewer shuffled records and bytes (4 distinct statuses per
+  // task instead of one pair per input record).
+  EXPECT_LT(with.map_output_records, without.map_output_records / 10);
+  EXPECT_LT(with.map_output_bytes, without.map_output_bytes / 10);
+}
+
+}  // namespace
+}  // namespace colmr

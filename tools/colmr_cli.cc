@@ -1,0 +1,365 @@
+// colmr — command-line companion for the library. Operates on a persisted
+// MiniHdfs image file, so datasets survive across invocations:
+//
+//   colmr init  <image> [num_nodes]             create an empty filesystem
+//   colmr gen   <image> <path> <kind> <n> [sel] generate a dataset
+//                 kind: crawl | weblog | micro  (written as CIF)
+//   colmr ls    <image> [path]                  list a directory
+//   colmr stat  <image>                         cluster and space summary
+//   colmr schema <image> <dataset>              print the dataset schema
+//   colmr head  <image> <dataset> [n]           print the first n records
+//   colmr convert <image> <src> <dst> <fmt>     copy between formats
+//                 fmt: txt | seq | seq-block | rcfile | rcfile-zlite |
+//                      cif | cif-sl | cif-dcsl
+//   colmr kill  <image> <node>                  fail a datanode
+//   colmr rerep <image>                         re-replicate lost replicas
+//
+// Example session:
+//   colmr init /tmp/fs.img 8
+//   colmr gen /tmp/fs.img /crawl crawl 20000
+//   colmr schema /tmp/fs.img /crawl
+//   colmr head /tmp/fs.img /crawl 3
+//   colmr convert /tmp/fs.img /crawl /crawl-seq seq
+//   colmr stat /tmp/fs.img
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cif/cof.h"
+#include "cif/loader.h"
+#include "formats/detect.h"
+#include "formats/rcfile/rcfile.h"
+#include "formats/seq/seq_file.h"
+#include "formats/text/text_format.h"
+#include "hdfs/mini_hdfs.h"
+#include "mapreduce/job.h"
+#include "workload/crawl.h"
+#include "workload/synthetic.h"
+#include "workload/weblog.h"
+
+namespace colmr {
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: colmr <init|gen|ls|stat|schema|head|convert|kill|"
+               "rerep> <image> [args...]\n(see the header of "
+               "tools/colmr_cli.cc for details)\n");
+  return 2;
+}
+
+std::unique_ptr<MiniHdfs> LoadFs(const std::string& image, Status* status) {
+  auto fs = std::make_unique<MiniHdfs>(
+      ClusterConfig{}, std::make_unique<ColumnPlacementPolicy>());
+  *status = fs->LoadImage(image);
+  return fs;
+}
+
+int CmdInit(const std::string& image, int argc, char** argv) {
+  ClusterConfig config;
+  if (argc > 0) config.num_nodes = std::atoi(argv[0]);
+  MiniHdfs fs(config, std::make_unique<ColumnPlacementPolicy>());
+  Status s = fs.SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("created %s: %d nodes, %d-way replication, %llu-byte blocks\n",
+              image.c_str(), config.num_nodes, config.replication,
+              static_cast<unsigned long long>(config.block_size));
+  return 0;
+}
+
+int CmdGen(const std::string& image, int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[0];
+  const std::string kind = argv[1];
+  const uint64_t n = std::strtoull(argv[2], nullptr, 10);
+  const double selectivity = argc > 3 ? std::atof(argv[3]) : 0.06;
+
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+
+  Schema::Ptr schema;
+  std::function<Value()> next;
+  std::shared_ptr<void> keepalive;
+  if (kind == "crawl") {
+    schema = CrawlSchema();
+    CrawlGeneratorOptions options;
+    options.jp_selectivity = selectivity;
+    auto gen = std::make_shared<CrawlGenerator>(42, options);
+    keepalive = gen;
+    next = [gen] { return gen->Next(); };
+  } else if (kind == "weblog") {
+    schema = WeblogSchema();
+    auto gen = std::make_shared<WeblogGenerator>(42);
+    keepalive = gen;
+    next = [gen] { return gen->Next(); };
+  } else if (kind == "micro") {
+    schema = MicrobenchSchema();
+    auto gen = std::make_shared<MicrobenchGenerator>(42, selectivity);
+    keepalive = gen;
+    next = [gen] { return gen->Next(); };
+  } else {
+    return Usage();
+  }
+
+  CofOptions options;
+  options.default_column.layout = ColumnLayout::kSkipList;
+  std::unique_ptr<CofWriter> writer;
+  s = CofWriter::Open(fs.get(), path, schema, options, &writer);
+  if (!s.ok()) return Fail(s);
+  for (uint64_t i = 0; i < n; ++i) {
+    s = writer->WriteRecord(next());
+    if (!s.ok()) return Fail(s);
+  }
+  s = writer->Close();
+  if (!s.ok()) return Fail(s);
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %llu %s records to %s (%d split-directories)\n",
+              static_cast<unsigned long long>(n), kind.c_str(), path.c_str(),
+              writer->split_count());
+  return 0;
+}
+
+int CmdLs(const std::string& image, int argc, char** argv) {
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  const std::string path = argc > 0 ? argv[0] : "/";
+  std::vector<std::string> children;
+  s = fs->ListDir(path, &children);
+  if (!s.ok()) return Fail(s);
+  for (const std::string& child : children) {
+    const std::string full = (path == "/" ? "" : path) + "/" + child;
+    uint64_t size = 0;
+    if (fs->GetFileSize(full, &size).ok()) {
+      std::printf("%12llu  %s\n", static_cast<unsigned long long>(size),
+                  child.c_str());
+    } else {
+      std::printf("%12s  %s/\n", "-", child.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdStat(const std::string& image) {
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  std::printf("nodes: %d (%zu dead)\nreplication: %d\nblock size: %llu\n"
+              "stored bytes (pre-replication): %llu\nunder-replicated "
+              "blocks: %llu\n",
+              fs->config().num_nodes, fs->dead_nodes().size(),
+              fs->config().replication,
+              static_cast<unsigned long long>(fs->config().block_size),
+              static_cast<unsigned long long>(fs->TotalStoredBytes()),
+              static_cast<unsigned long long>(
+                  fs->UnderReplicatedBlockCount()));
+  return 0;
+}
+
+int CmdSchema(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  // CIF keeps the schema per split-directory; row formats at the root.
+  Schema::Ptr schema;
+  s = ReadDatasetSchema(fs.get(), argv[0], &schema);
+  if (s.ok()) {
+    std::printf("%s\n", schema->ToString().c_str());
+    return 0;
+  }
+  std::vector<std::string> children;
+  Status list_status = fs->ListDir(argv[0], &children);
+  if (!list_status.ok()) return Fail(list_status);
+  for (const std::string& child : children) {
+    if (ReadDatasetSchema(fs.get(), std::string(argv[0]) + "/" + child,
+                          &schema)
+            .ok()) {
+      std::printf("%s\n", schema->ToString().c_str());
+      return 0;
+    }
+  }
+  return Fail(Status::NotFound("no schema under that path"));
+}
+
+int CmdHead(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string path = argv[0];
+  const uint64_t limit = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10;
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+
+  std::shared_ptr<InputFormat> format;
+  std::string name;
+  s = DetectInputFormat(fs.get(), path, &format, &name);
+  if (!s.ok()) return Fail(s);
+  std::fprintf(stderr, "(format: %s)\n", name.c_str());
+
+  JobConfig config;
+  config.input_paths = {path};
+  std::vector<InputSplit> splits;
+  s = format->GetSplits(fs.get(), config, &splits);
+  if (!s.ok()) return Fail(s);
+  uint64_t printed = 0;
+  for (const InputSplit& split : splits) {
+    std::unique_ptr<RecordReader> reader;
+    s = format->CreateRecordReader(fs.get(), config, split, ReadContext{},
+                                   &reader);
+    if (!s.ok()) return Fail(s);
+    while (printed < limit && reader->Next()) {
+      Value record;
+      s = MaterializeRecord(&reader->record(), &record);
+      if (!s.ok()) return Fail(s);
+      std::printf("%s\n", record.ToString().c_str());
+      ++printed;
+    }
+    if (!reader->status().ok()) return Fail(reader->status());
+    if (printed >= limit) break;
+  }
+  return 0;
+}
+
+int CmdConvert(const std::string& image, int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string src = argv[0];
+  const std::string dst = argv[1];
+  const std::string fmt = argv[2];
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+
+  std::shared_ptr<InputFormat> input;
+  s = DetectInputFormat(fs.get(), src, &input, nullptr);
+  if (!s.ok()) return Fail(s);
+
+  // Schema of the source: per split-directory for CIF, at the root
+  // otherwise.
+  Schema::Ptr schema;
+  if (!ReadDatasetSchema(fs.get(), src, &schema).ok()) {
+    std::vector<std::string> children;
+    s = fs->ListDir(src, &children);
+    if (!s.ok()) return Fail(s);
+    bool found = false;
+    for (const std::string& child : children) {
+      if (ReadDatasetSchema(fs.get(), src + "/" + child, &schema).ok()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Fail(Status::NotFound("source schema"));
+  }
+
+  std::unique_ptr<DatasetWriter> writer;
+  if (fmt == "txt") {
+    std::unique_ptr<TextWriter> w;
+    s = TextWriter::Open(fs.get(), dst, schema, &w);
+    writer = std::move(w);
+  } else if (fmt == "seq" || fmt == "seq-block") {
+    SeqWriterOptions options;
+    if (fmt == "seq-block") options.compression = SeqCompression::kBlock;
+    std::unique_ptr<SeqWriter> w;
+    s = SeqWriter::Open(fs.get(), dst, schema, options, &w);
+    writer = std::move(w);
+  } else if (fmt == "rcfile" || fmt == "rcfile-zlite") {
+    RcFileWriterOptions options;
+    if (fmt == "rcfile-zlite") options.codec = CodecType::kZlite;
+    std::unique_ptr<RcFileWriter> w;
+    s = RcFileWriter::Open(fs.get(), dst, schema, options, &w);
+    writer = std::move(w);
+  } else if (fmt == "cif" || fmt == "cif-sl" || fmt == "cif-dcsl") {
+    CofOptions options;
+    if (fmt != "cif") {
+      options.default_column.layout = ColumnLayout::kSkipList;
+    }
+    if (fmt == "cif-dcsl") {
+      for (const auto& field : schema->fields()) {
+        if (field.type->kind() == TypeKind::kMap) {
+          options.column_overrides[field.name] = {
+              ColumnLayout::kDictSkipList, CodecType::kNone, 0};
+        }
+      }
+    }
+    std::unique_ptr<CofWriter> w;
+    s = CofWriter::Open(fs.get(), dst, schema, options, &w);
+    writer = std::move(w);
+  } else {
+    return Usage();
+  }
+  if (!s.ok()) return Fail(s);
+
+  s = CopyDataset(fs.get(), input.get(), {src}, writer.get());
+  if (!s.ok()) return Fail(s);
+  s = writer->Close();
+  if (!s.ok()) return Fail(s);
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("converted %s -> %s (%s, %llu records)\n", src.c_str(),
+              dst.c_str(), fmt.c_str(),
+              static_cast<unsigned long long>(writer->record_count()));
+  return 0;
+}
+
+int CmdKill(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  s = fs->KillNode(std::atoi(argv[0]));
+  if (!s.ok()) return Fail(s);
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("node %s is dead; %llu blocks under-replicated\n", argv[0],
+              static_cast<unsigned long long>(
+                  fs->UnderReplicatedBlockCount()));
+  return 0;
+}
+
+int CmdRerep(const std::string& image) {
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  const uint64_t before = fs->UnderReplicatedBlockCount();
+  s = fs->ReReplicate();
+  if (!s.ok()) return Fail(s);
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("re-replicated %llu blocks; %llu remain under-replicated\n",
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(
+                  fs->UnderReplicatedBlockCount()));
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string image = argv[2];
+  argc -= 3;
+  argv += 3;
+  if (command == "init") return CmdInit(image, argc, argv);
+  if (command == "gen") return CmdGen(image, argc, argv);
+  if (command == "ls") return CmdLs(image, argc, argv);
+  if (command == "stat") return CmdStat(image);
+  if (command == "schema") return CmdSchema(image, argc, argv);
+  if (command == "head") return CmdHead(image, argc, argv);
+  if (command == "convert") return CmdConvert(image, argc, argv);
+  if (command == "kill") return CmdKill(image, argc, argv);
+  if (command == "rerep") return CmdRerep(image);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace colmr
+
+int main(int argc, char** argv) { return colmr::Run(argc, argv); }
