@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_deserialization.dir/bench_fig8_deserialization.cc.o"
+  "CMakeFiles/bench_fig8_deserialization.dir/bench_fig8_deserialization.cc.o.d"
+  "bench_fig8_deserialization"
+  "bench_fig8_deserialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_deserialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

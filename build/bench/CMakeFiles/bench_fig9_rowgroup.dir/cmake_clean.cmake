@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rowgroup.dir/bench_fig9_rowgroup.cc.o"
+  "CMakeFiles/bench_fig9_rowgroup.dir/bench_fig9_rowgroup.cc.o.d"
+  "bench_fig9_rowgroup"
+  "bench_fig9_rowgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rowgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skiplist.dir/bench_skiplist.cc.o"
+  "CMakeFiles/bench_skiplist.dir/bench_skiplist.cc.o.d"
+  "bench_skiplist"
+  "bench_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_content_types.dir/crawl_content_types.cc.o"
+  "CMakeFiles/crawl_content_types.dir/crawl_content_types.cc.o.d"
+  "crawl_content_types"
+  "crawl_content_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_content_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_report.dir/weblog_report.cc.o"
+  "CMakeFiles/weblog_report.dir/weblog_report.cc.o.d"
+  "weblog_report"
+  "weblog_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

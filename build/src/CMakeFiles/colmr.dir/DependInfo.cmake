@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cif/cif.cc" "src/CMakeFiles/colmr.dir/cif/cif.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/cif.cc.o.d"
+  "/root/repo/src/cif/cof.cc" "src/CMakeFiles/colmr.dir/cif/cof.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/cof.cc.o.d"
+  "/root/repo/src/cif/column_reader.cc" "src/CMakeFiles/colmr.dir/cif/column_reader.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/column_reader.cc.o.d"
+  "/root/repo/src/cif/column_writer.cc" "src/CMakeFiles/colmr.dir/cif/column_writer.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/column_writer.cc.o.d"
+  "/root/repo/src/cif/lazy_record.cc" "src/CMakeFiles/colmr.dir/cif/lazy_record.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/lazy_record.cc.o.d"
+  "/root/repo/src/cif/loader.cc" "src/CMakeFiles/colmr.dir/cif/loader.cc.o" "gcc" "src/CMakeFiles/colmr.dir/cif/loader.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/colmr.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/colmr.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/colmr.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/colmr.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/colmr.dir/common/random.cc.o" "gcc" "src/CMakeFiles/colmr.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/colmr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/colmr.dir/common/status.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/colmr.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/colmr.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/dictionary.cc" "src/CMakeFiles/colmr.dir/compress/dictionary.cc.o" "gcc" "src/CMakeFiles/colmr.dir/compress/dictionary.cc.o.d"
+  "/root/repo/src/compress/lzf.cc" "src/CMakeFiles/colmr.dir/compress/lzf.cc.o" "gcc" "src/CMakeFiles/colmr.dir/compress/lzf.cc.o.d"
+  "/root/repo/src/compress/zlite.cc" "src/CMakeFiles/colmr.dir/compress/zlite.cc.o" "gcc" "src/CMakeFiles/colmr.dir/compress/zlite.cc.o.d"
+  "/root/repo/src/formats/detect.cc" "src/CMakeFiles/colmr.dir/formats/detect.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/detect.cc.o.d"
+  "/root/repo/src/formats/rcfile/rcfile.cc" "src/CMakeFiles/colmr.dir/formats/rcfile/rcfile.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/rcfile/rcfile.cc.o.d"
+  "/root/repo/src/formats/rcfile/rcfile_format.cc" "src/CMakeFiles/colmr.dir/formats/rcfile/rcfile_format.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/rcfile/rcfile_format.cc.o.d"
+  "/root/repo/src/formats/seq/seq_file.cc" "src/CMakeFiles/colmr.dir/formats/seq/seq_file.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/seq/seq_file.cc.o.d"
+  "/root/repo/src/formats/seq/seq_format.cc" "src/CMakeFiles/colmr.dir/formats/seq/seq_format.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/seq/seq_format.cc.o.d"
+  "/root/repo/src/formats/text/text_format.cc" "src/CMakeFiles/colmr.dir/formats/text/text_format.cc.o" "gcc" "src/CMakeFiles/colmr.dir/formats/text/text_format.cc.o.d"
+  "/root/repo/src/hdfs/cost_model.cc" "src/CMakeFiles/colmr.dir/hdfs/cost_model.cc.o" "gcc" "src/CMakeFiles/colmr.dir/hdfs/cost_model.cc.o.d"
+  "/root/repo/src/hdfs/mini_hdfs.cc" "src/CMakeFiles/colmr.dir/hdfs/mini_hdfs.cc.o" "gcc" "src/CMakeFiles/colmr.dir/hdfs/mini_hdfs.cc.o.d"
+  "/root/repo/src/hdfs/placement.cc" "src/CMakeFiles/colmr.dir/hdfs/placement.cc.o" "gcc" "src/CMakeFiles/colmr.dir/hdfs/placement.cc.o.d"
+  "/root/repo/src/hdfs/reader.cc" "src/CMakeFiles/colmr.dir/hdfs/reader.cc.o" "gcc" "src/CMakeFiles/colmr.dir/hdfs/reader.cc.o.d"
+  "/root/repo/src/mapreduce/engine.cc" "src/CMakeFiles/colmr.dir/mapreduce/engine.cc.o" "gcc" "src/CMakeFiles/colmr.dir/mapreduce/engine.cc.o.d"
+  "/root/repo/src/mapreduce/input_format.cc" "src/CMakeFiles/colmr.dir/mapreduce/input_format.cc.o" "gcc" "src/CMakeFiles/colmr.dir/mapreduce/input_format.cc.o.d"
+  "/root/repo/src/serde/boxed.cc" "src/CMakeFiles/colmr.dir/serde/boxed.cc.o" "gcc" "src/CMakeFiles/colmr.dir/serde/boxed.cc.o.d"
+  "/root/repo/src/serde/encoding.cc" "src/CMakeFiles/colmr.dir/serde/encoding.cc.o" "gcc" "src/CMakeFiles/colmr.dir/serde/encoding.cc.o.d"
+  "/root/repo/src/serde/record.cc" "src/CMakeFiles/colmr.dir/serde/record.cc.o" "gcc" "src/CMakeFiles/colmr.dir/serde/record.cc.o.d"
+  "/root/repo/src/serde/schema.cc" "src/CMakeFiles/colmr.dir/serde/schema.cc.o" "gcc" "src/CMakeFiles/colmr.dir/serde/schema.cc.o.d"
+  "/root/repo/src/serde/value.cc" "src/CMakeFiles/colmr.dir/serde/value.cc.o" "gcc" "src/CMakeFiles/colmr.dir/serde/value.cc.o.d"
+  "/root/repo/src/workload/crawl.cc" "src/CMakeFiles/colmr.dir/workload/crawl.cc.o" "gcc" "src/CMakeFiles/colmr.dir/workload/crawl.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/colmr.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/colmr.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/weblog.cc" "src/CMakeFiles/colmr.dir/workload/weblog.cc.o" "gcc" "src/CMakeFiles/colmr.dir/workload/weblog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

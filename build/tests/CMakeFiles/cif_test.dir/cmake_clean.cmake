@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cif_test.dir/cif_test.cc.o"
+  "CMakeFiles/cif_test.dir/cif_test.cc.o.d"
+  "cif_test"
+  "cif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colmr_cli.dir/colmr_cli.cc.o"
+  "CMakeFiles/colmr_cli.dir/colmr_cli.cc.o.d"
+  "colmr"
+  "colmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colmr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
