@@ -2,12 +2,14 @@
 #define COLMR_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace colmr {
 
-/// Monotonic wall-clock timer used to measure the CPU-bound portions of
-/// tasks. (Tasks run single-threaded, so wall time == CPU time up to noise;
-/// the I/O side is accounted separately through hdfs::IoStats.)
+/// Monotonic wall-clock timer. With the parallel engine, map tasks share
+/// the machine's cores, so wall time over a task no longer approximates
+/// its CPU time — per-task CPU is measured with ThreadCpuStopwatch below,
+/// and the I/O side is accounted separately through hdfs::IoStats.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -18,9 +20,43 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// CPU seconds consumed by the *calling thread* so far
+  /// (CLOCK_THREAD_CPUTIME_ID). Unlike wall time this stays meaningful
+  /// when many tasks contend for fewer cores: a descheduled thread's
+  /// clock does not advance.
+  static double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + ts.tv_nsec * 1e-9;
+    }
+#endif
+    // Fallback (non-POSIX): process CPU time — correct only when
+    // single-threaded, which is also the only case that reaches here.
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Per-thread CPU timer for task accounting: measures only cycles the
+/// calling thread actually executed, so `cpu_seconds` in task reports is
+/// comparable between the serial and parallel engines.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(Stopwatch::ThreadCpuSeconds()) {}
+
+  void Reset() { start_ = Stopwatch::ThreadCpuSeconds(); }
+
+  /// Must be called from the same thread that constructed the stopwatch.
+  double ElapsedSeconds() const {
+    return Stopwatch::ThreadCpuSeconds() - start_;
+  }
+
+ private:
+  double start_;
 };
 
 }  // namespace colmr

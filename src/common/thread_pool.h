@@ -1,0 +1,62 @@
+#ifndef COLMR_COMMON_THREAD_POOL_H_
+#define COLMR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace colmr {
+
+/// Fixed-size work-queue thread pool: N worker threads drain a FIFO of
+/// std::function jobs. Submit() never blocks (the queue is unbounded);
+/// Wait() blocks the caller until every submitted job has finished, so a
+/// producer can dispatch a batch and join it without destroying the pool.
+/// The destructor drains outstanding work before joining the workers.
+///
+/// This is the execution substrate of the parallel JobRunner: one pool per
+/// job run, sized to min(hardware_concurrency, cluster map slots), with
+/// per-node slot admission layered on top by the engine.
+class ThreadPool {
+ public:
+  /// Spawns max(1, num_threads) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job. Safe to call from any thread, including from a
+  /// running job (jobs must not Wait() on their own pool, though — that
+  /// can deadlock once every worker is blocked in Wait).
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and no job is executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Pool size the engine uses by default: the hardware's concurrency
+  /// clamped to the simulated cluster's total map slots (running more
+  /// threads than slots cannot make the slot-gated schedule any faster),
+  /// never less than 1.
+  static int DefaultThreads(int total_slots);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // jobs popped but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_THREAD_POOL_H_

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/coding.h"
 
@@ -26,6 +28,7 @@ Status MiniHdfs::Create(const std::string& path,
   if (path.empty() || path[0] != '/') {
     return Status::InvalidArgument("path must be absolute: " + path);
   }
+  std::unique_lock lock(mu_);
   if (files_.count(path) > 0) {
     return Status::AlreadyExists(path);
   }
@@ -36,17 +39,32 @@ Status MiniHdfs::Create(const std::string& path,
 
 Status MiniHdfs::Open(const std::string& path, const ReadContext& context,
                       std::unique_ptr<FileReader>* reader) const {
+  std::shared_lock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
+  // The FileMeta pointer stays valid across the unlock: map nodes are
+  // stable, and the contract forbids Delete/LoadImage while open.
   reader->reset(new FileReader(this, &it->second, context));
   return Status::OK();
 }
 
 bool MiniHdfs::Exists(const std::string& path) const {
+  std::shared_lock lock(mu_);
   return files_.count(path) > 0;
 }
 
+bool MiniHdfs::IsNodeDead(NodeId node) const {
+  std::shared_lock lock(mu_);
+  return dead_nodes_.count(node) > 0;
+}
+
+std::set<NodeId> MiniHdfs::dead_nodes() const {
+  std::shared_lock lock(mu_);
+  return dead_nodes_;
+}
+
 Status MiniHdfs::GetFileSize(const std::string& path, uint64_t* size) const {
+  std::shared_lock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   *size = it->second.size;
@@ -54,6 +72,7 @@ Status MiniHdfs::GetFileSize(const std::string& path, uint64_t* size) const {
 }
 
 Status MiniHdfs::Delete(const std::string& path) {
+  std::unique_lock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   for (const BlockInfo& block : it->second.blocks) {
@@ -68,6 +87,7 @@ Status MiniHdfs::ListDir(const std::string& path,
   children->clear();
   std::string prefix = path;
   if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::shared_lock lock(mu_);
   std::set<std::string> unique_children;
   for (const auto& [file_path, meta] : files_) {
     if (file_path.size() > prefix.size() &&
@@ -87,6 +107,7 @@ Status MiniHdfs::ListDir(const std::string& path,
 
 Status MiniHdfs::GetBlockLocations(const std::string& path,
                                    std::vector<BlockInfo>* blocks) const {
+  std::shared_lock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   *blocks = it->second.blocks;
@@ -95,6 +116,7 @@ Status MiniHdfs::GetBlockLocations(const std::string& path,
 
 std::vector<NodeId> MiniHdfs::CommonReplicaNodes(
     const std::vector<std::string>& paths) const {
+  std::shared_lock lock(mu_);
   std::set<NodeId> common;
   bool first = true;
   for (const std::string& path : paths) {
@@ -122,6 +144,7 @@ Status MiniHdfs::KillNode(NodeId node) {
   if (node < 0 || node >= config_.num_nodes) {
     return Status::InvalidArgument("no such node");
   }
+  std::unique_lock lock(mu_);
   if (!dead_nodes_.insert(node).second) {
     return Status::AlreadyExists("node already dead");
   }
@@ -136,6 +159,7 @@ Status MiniHdfs::KillNode(NodeId node) {
 }
 
 uint64_t MiniHdfs::UnderReplicatedBlockCount() const {
+  std::shared_lock lock(mu_);
   const size_t target = static_cast<size_t>(
       std::min(config_.replication,
                config_.num_nodes - static_cast<int>(dead_nodes_.size())));
@@ -149,6 +173,7 @@ uint64_t MiniHdfs::UnderReplicatedBlockCount() const {
 }
 
 Status MiniHdfs::ReReplicate() {
+  std::unique_lock lock(mu_);
   const size_t target = static_cast<size_t>(
       std::min(config_.replication,
                config_.num_nodes - static_cast<int>(dead_nodes_.size())));
@@ -168,6 +193,7 @@ Status MiniHdfs::ReReplicate() {
 }
 
 uint64_t MiniHdfs::TotalStoredBytes() const {
+  std::shared_lock lock(mu_);
   uint64_t total = 0;
   for (const auto& [path, meta] : files_) total += meta.size;
   return total;
@@ -178,6 +204,7 @@ constexpr char kImageMagic[4] = {'C', 'H', 'F', 'S'};
 }  // namespace
 
 Status MiniHdfs::SaveImage(const std::string& local_path) const {
+  std::shared_lock lock(mu_);
   Buffer image;
   image.Append(Slice(kImageMagic, 4));
   PutVarint64(&image, static_cast<uint64_t>(config_.num_nodes));
@@ -226,6 +253,7 @@ Status MiniHdfs::LoadImage(const std::string& local_path) {
   }
   cursor.RemovePrefix(4);
 
+  std::unique_lock lock(mu_);
   MiniHdfs loaded(config_, nullptr);
   uint64_t v;
   COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
@@ -298,6 +326,7 @@ void FileWriter::Append(Slice data) {
 void FileWriter::SealBlock() {
   const uint64_t block_size = fs_->config_.block_size;
   const size_t take = std::min<size_t>(pending_.size(), block_size);
+  std::unique_lock lock(fs_->mu_);
   BlockInfo block;
   block.id = fs_->next_block_id_++;
   block.size = take;
@@ -335,7 +364,10 @@ Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
     context_.stats->reads += 1;
   }
 
-  // Walk blocks covering [offset, offset + n).
+  // Walk blocks covering [offset, offset + n). The shared lock pins the
+  // block map against concurrent writers sealing blocks of other files;
+  // this file's own blocks are immutable (it was sealed before opening).
+  std::shared_lock lock(fs_->mu_);
   uint64_t block_start = 0;
   for (const BlockInfo& block : meta_->blocks) {
     const uint64_t block_end = block_start + block.size;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,18 @@ struct ReadContext {
 /// In-process HDFS: a namenode namespace of append-only files split into
 /// replicated blocks, with pluggable block placement. Blocks live in
 /// memory; the "cluster" exists as placement metadata plus the cost model,
-/// which is all the paper's techniques interact with. Single-threaded.
+/// which is all the paper's techniques interact with.
+///
+/// Thread-safety contract (the parallel JobRunner depends on it): namenode
+/// metadata is guarded by a shared_mutex — any number of concurrent
+/// readers (Open, FileReader::Read, GetBlockLocations, ListDir,
+/// CommonReplicaNodes, Exists, ...) may run alongside each other, while
+/// mutations (Create, Delete, KillNode, ReReplicate, LoadImage, and block
+/// seals from FileWriter) take the lock exclusively. Block data is
+/// immutable once its file's writer is Close()d, so sealed files can be
+/// read from many threads without copying. Callers must still not Delete
+/// a file, kill nodes, or load an image while readers of that file are in
+/// flight — the same external-coordination rule real HDFS imposes.
 class MiniHdfs {
  public:
   /// Takes ownership of the placement policy (HDFS's
@@ -92,8 +104,9 @@ class MiniHdfs {
   /// that requires three simultaneous failures.
   Status KillNode(NodeId node);
 
-  bool IsNodeDead(NodeId node) const { return dead_nodes_.count(node) > 0; }
-  const std::set<NodeId>& dead_nodes() const { return dead_nodes_; }
+  bool IsNodeDead(NodeId node) const;
+  /// Snapshot of the dead-node set (copied under the namespace lock).
+  std::set<NodeId> dead_nodes() const;
 
   /// Number of blocks currently holding fewer than `replication` live
   /// replicas.
@@ -127,6 +140,10 @@ class MiniHdfs {
 
   ClusterConfig config_;
   std::unique_ptr<BlockPlacementPolicy> placement_;
+
+  /// Guards every field below. config_ and placement_ are fixed after
+  /// construction (LoadImage excepted) and read without the lock.
+  mutable std::shared_mutex mu_;
   std::map<std::string, FileMeta> files_;
   std::map<uint64_t, std::string> block_data_;
   std::set<NodeId> dead_nodes_;
@@ -163,7 +180,10 @@ class FileWriter {
 
 /// Positioned reader with local/remote byte accounting. Each Read charges
 /// the context's IoStats per block according to whether context.node holds
-/// a replica of that block.
+/// a replica of that block. Many FileReaders may read the same (sealed)
+/// file concurrently; one FileReader must not be shared across threads,
+/// because its IoStats sink is charged without synchronization — the
+/// engine gives every task its own reader and stats, merged at join.
 class FileReader {
  public:
   uint64_t size() const { return size_; }

@@ -1,9 +1,13 @@
 #include "mapreduce/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "serde/encoding.h"
 
 namespace colmr {
@@ -22,7 +26,89 @@ class VectorEmitter final : public Emitter {
   std::vector<std::pair<Value, Value>> pairs_;
 };
 
+/// Folds runs of equal keys in key-sorted `pairs` through `fn` (combiner or
+/// reducer). The run's values vector is reused across runs and the output
+/// reserved up front, so folding costs no per-run allocations beyond what
+/// the Values themselves own.
+void FoldSortedRuns(std::vector<std::pair<Value, Value>>* pairs,
+                    const ReduceFn& fn, VectorEmitter* out) {
+  out->pairs().reserve(pairs->size());
+  std::vector<Value> values;
+  size_t i = 0;
+  while (i < pairs->size()) {
+    size_t j = i;
+    values.clear();
+    while (j < pairs->size() &&
+           (*pairs)[j].first.Compare((*pairs)[i].first) == 0) {
+      values.push_back(std::move((*pairs)[j].second));
+      ++j;
+    }
+    fn((*pairs)[i].first, values, out);
+    i = j;
+  }
+}
+
+/// Admission control faithful to the simulated cluster: at most
+/// map_slots_per_node tasks execute concurrently on any node, whatever the
+/// pool size. Counters are mutex-guarded; Acquire blocks until the task's
+/// assigned node has a free slot (slots are only ever held by running
+/// tasks, so waiters always make progress). Peaks are recorded for the
+/// report — and for the tests that assert slot-faithfulness.
+class SlotGate {
+ public:
+  SlotGate(int num_nodes, int slots_per_node)
+      : slots_per_node_(std::max(1, slots_per_node)),
+        active_(std::max(0, num_nodes), 0),
+        peak_(std::max(0, num_nodes), 0) {}
+
+  void Acquire(NodeId node) {
+    if (node < 0 || node >= static_cast<NodeId>(active_.size())) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    slot_freed_.wait(lock,
+                     [&] { return active_[node] < slots_per_node_; });
+    ++active_[node];
+    peak_[node] = std::max(peak_[node], active_[node]);
+  }
+
+  void Release(NodeId node) {
+    if (node < 0 || node >= static_cast<NodeId>(active_.size())) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_[node];
+    }
+    slot_freed_.notify_all();
+  }
+
+  std::vector<int> peaks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+ private:
+  const int slots_per_node_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  std::vector<int> active_;
+  std::vector<int> peak_;
+};
+
+/// One reducer's output, produced on a pool thread and merged in partition
+/// order afterwards.
+struct ReduceTaskResult {
+  std::vector<std::pair<Value, Value>> pairs;
+  double cpu_seconds = 0;
+};
+
 }  // namespace
+
+/// Everything one map task hands back to the merge step. Each task owns
+/// its TaskReport (and the IoStats inside it) exclusively while running;
+/// nothing is written to shared sinks until the join.
+struct JobRunner::MapTaskResult {
+  TaskReport task;
+  std::vector<std::pair<Value, Value>> pairs;
+  Status status;
+};
 
 NodeId JobRunner::ScheduleSplit(const InputSplit& split,
                                 std::vector<int>* node_load, int total_splits,
@@ -58,6 +144,7 @@ NodeId JobRunner::ScheduleSplit(const InputSplit& split,
 }
 
 Status JobRunner::Run(const Job& job, JobReport* report) {
+  Stopwatch wall;
   *report = JobReport();
   if (!job.input_format) {
     return Status::InvalidArgument("job has no input format");
@@ -72,60 +159,103 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
     return Status::InvalidArgument("input produced no splits");
   }
 
-  // ---- Map phase: execute every task, measuring CPU and counting I/O.
-  std::vector<std::pair<Value, Value>> map_output;
+  // ---- Scheduling: assign every split to its node serially, in split
+  // order, exactly as the serial engine did — the assignment (and with it
+  // all locality accounting) is deterministic and independent of the
+  // thread count tasks later execute with.
   std::vector<int> node_load(fs_->config().num_nodes, 0);
-  std::vector<double> task_times;
-  task_times.reserve(splits.size());
-
+  std::vector<NodeId> assigned_node(splits.size(), kAnyNode);
+  std::vector<char> assigned_local(splits.size(), 0);
   for (size_t i = 0; i < splits.size(); ++i) {
-    TaskReport task;
-    task.split_index = static_cast<int>(i);
-    task.node = ScheduleSplit(splits[i], &node_load,
-                              static_cast<int>(splits.size()),
-                              &task.data_local);
-    if (task.node != kAnyNode) node_load[task.node] += 1;
+    bool data_local = false;
+    assigned_node[i] = ScheduleSplit(splits[i], &node_load,
+                                     static_cast<int>(splits.size()),
+                                     &data_local);
+    if (assigned_node[i] != kAnyNode) node_load[assigned_node[i]] += 1;
+    assigned_local[i] = data_local ? 1 : 0;
+  }
 
+  const int total_slots = fs_->config().TotalMapSlots();
+  int threads;
+  if (job.config.parallelism == 1) {
+    threads = 1;
+  } else if (job.config.parallelism > 1) {
+    // More threads than cluster slots cannot run: the gate would park them.
+    threads = std::min(job.config.parallelism, std::max(1, total_slots));
+  } else {
+    threads = ThreadPool::DefaultThreads(total_slots);
+  }
+  report->worker_threads = threads;
+
+  // ---- Map phase: execute every task, measuring per-thread CPU and
+  // counting I/O into task-private sinks.
+  SlotGate gate(fs_->config().num_nodes, fs_->config().map_slots_per_node);
+  std::vector<MapTaskResult> results(splits.size());
+
+  auto execute_task = [&](size_t i) {
+    MapTaskResult& result = results[i];
+    TaskReport& task = result.task;
+    task.split_index = static_cast<int>(i);
+    task.node = assigned_node[i];
+    task.data_local = assigned_local[i] != 0;
+
+    gate.Acquire(task.node);
     ReadContext context{task.node, &task.io};
     std::unique_ptr<RecordReader> reader;
-    COLMR_RETURN_IF_ERROR(job.input_format->CreateRecordReader(
-        fs_, job.config, splits[i], context, &reader));
-
-    VectorEmitter emitter;
-    Stopwatch watch;
-    while (reader->Next()) {
-      job.mapper(reader->record(), &emitter);
-      ++task.input_records;
-    }
-    // Map-side combine: sort this task's output, fold runs of equal keys
-    // through the combiner, and ship the (usually much smaller) result.
-    if (job.combiner && !emitter.pairs().empty()) {
-      auto& pairs = emitter.pairs();
-      std::stable_sort(pairs.begin(), pairs.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first.Compare(b.first) < 0;
-                       });
-      VectorEmitter combined;
-      size_t i = 0;
-      while (i < pairs.size()) {
-        size_t j = i;
-        std::vector<Value> values;
-        while (j < pairs.size() &&
-               pairs[j].first.Compare(pairs[i].first) == 0) {
-          values.push_back(std::move(pairs[j].second));
-          ++j;
-        }
-        job.combiner(pairs[i].first, values, &combined);
-        i = j;
+    result.status = job.input_format->CreateRecordReader(
+        fs_, job.config, splits[i], context, &reader);
+    if (result.status.ok()) {
+      VectorEmitter emitter;
+      ThreadCpuStopwatch watch;
+      while (reader->Next()) {
+        job.mapper(reader->record(), &emitter);
+        ++task.input_records;
       }
-      pairs = std::move(combined.pairs());
+      // Map-side combine: sort this task's output, fold runs of equal keys
+      // through the combiner, and ship the (usually much smaller) result.
+      if (job.combiner && !emitter.pairs().empty()) {
+        auto& pairs = emitter.pairs();
+        std::stable_sort(pairs.begin(), pairs.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first.Compare(b.first) < 0;
+                         });
+        VectorEmitter combined;
+        FoldSortedRuns(&pairs, job.combiner, &combined);
+        pairs = std::move(combined.pairs());
+      }
+      task.cpu_seconds = watch.ElapsedSeconds();
+      result.status = reader->status();
+      task.output_records = emitter.pairs().size();
+      task.sim_seconds = cost_model_.TaskSeconds({task.cpu_seconds, task.io});
+      result.pairs = std::move(emitter.pairs());
     }
-    task.cpu_seconds = watch.ElapsedSeconds();
-    COLMR_RETURN_IF_ERROR(reader->status());
+    gate.Release(task.node);
+  };
 
-    task.output_records = emitter.pairs().size();
-    task.sim_seconds =
-        cost_model_.TaskSeconds({task.cpu_seconds, task.io});
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    for (size_t i = 0; i < splits.size(); ++i) {
+      pool->Submit([&execute_task, i] { execute_task(i); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t i = 0; i < splits.size(); ++i) {
+      execute_task(i);
+      // Fail fast like the original serial loop.
+      if (!results[i].status.ok()) return results[i].status;
+    }
+  }
+
+  // ---- Join: merge per-task results into the report in split order, so
+  // map output (and everything derived from it) is byte-identical to the
+  // serial engine's.
+  std::vector<std::pair<Value, Value>> map_output;
+  std::vector<double> task_times;
+  task_times.reserve(splits.size());
+  for (MapTaskResult& result : results) {
+    COLMR_RETURN_IF_ERROR(result.status);
+    TaskReport& task = result.task;
     task_times.push_back(task.sim_seconds);
 
     report->map_input_records += task.input_records;
@@ -139,13 +269,14 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
       report->remote_tasks += 1;
     }
 
-    for (auto& pair : emitter.pairs()) {
+    for (auto& pair : result.pairs) {
       report->map_output_bytes +=
           TaggedEncodedSize(pair.first) + TaggedEncodedSize(pair.second);
       map_output.push_back(std::move(pair));
     }
     report->map_tasks.push_back(std::move(task));
   }
+  report->peak_node_slots = gate.peaks();
   report->map_phase_seconds = cost_model_.MapPhaseSeconds(task_times);
   double task_time_sum = 0;
   for (double t : task_times) task_time_sum += t;
@@ -160,7 +291,9 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
             : fs_->config().num_nodes * fs_->config().reduce_slots_per_node;
 
     // Partition by key hash, then sort each partition (Hadoop's
-    // sort-merge shuffle, collapsed to an in-memory sort).
+    // sort-merge shuffle, collapsed to an in-memory sort). Partition
+    // contents keep map-output order, so the per-partition stable sort is
+    // deterministic too.
     std::vector<std::vector<std::pair<Value, Value>>> partitions(num_reducers);
     std::hash<std::string> hasher;
     for (auto& pair : map_output) {
@@ -168,30 +301,35 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
       partitions[p].push_back(std::move(pair));
     }
 
-    Stopwatch reduce_watch;
-    double max_reducer_seconds = 0;
-    for (auto& partition : partitions) {
-      Stopwatch task_watch;
+    std::vector<ReduceTaskResult> reduced(partitions.size());
+    auto execute_reducer = [&](size_t p) {
+      auto& partition = partitions[p];
+      ThreadCpuStopwatch watch;
       std::stable_sort(partition.begin(), partition.end(),
                        [](const auto& a, const auto& b) {
                          return a.first.Compare(b.first) < 0;
                        });
       VectorEmitter emitter;
-      size_t i = 0;
-      while (i < partition.size()) {
-        size_t j = i;
-        std::vector<Value> values;
-        while (j < partition.size() &&
-               partition[j].first.Compare(partition[i].first) == 0) {
-          values.push_back(partition[j].second);
-          ++j;
-        }
-        job.reducer(partition[i].first, values, &emitter);
-        i = j;
+      FoldSortedRuns(&partition, job.reducer, &emitter);
+      reduced[p].cpu_seconds = watch.ElapsedSeconds();
+      reduced[p].pairs = std::move(emitter.pairs());
+    };
+
+    if (pool != nullptr) {
+      for (size_t p = 0; p < partitions.size(); ++p) {
+        pool->Submit([&execute_reducer, p] { execute_reducer(p); });
       }
-      max_reducer_seconds =
-          std::max(max_reducer_seconds, task_watch.ElapsedSeconds());
-      for (auto& pair : emitter.pairs()) {
+      pool->Wait();
+    } else {
+      for (size_t p = 0; p < partitions.size(); ++p) execute_reducer(p);
+    }
+
+    // Merge emitted output in partition order — identical to running the
+    // reducers one after another.
+    double max_reducer_seconds = 0;
+    for (ReduceTaskResult& result : reduced) {
+      max_reducer_seconds = std::max(max_reducer_seconds, result.cpu_seconds);
+      for (auto& pair : result.pairs) {
         report->output.push_back(std::move(pair));
       }
     }
@@ -224,6 +362,7 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
   report->total_seconds = report->map_phase_seconds +
                           report->shuffle_seconds +
                           report->reduce_phase_seconds;
+  report->wall_seconds = wall.ElapsedSeconds();
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define COLMR_MAPREDUCE_ENGINE_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "hdfs/cost_model.h"
@@ -11,18 +12,32 @@
 namespace colmr {
 
 /// Runs MapReduce jobs against a MiniHdfs. Tasks execute for real (the
-/// map/reduce functions run and their CPU time is measured); cluster
+/// map/reduce functions run and their per-thread CPU time is measured)
+/// and, by default, concurrently: map tasks are dispatched onto a work
+/// queue drained by min(hardware_concurrency, cluster map slots) threads,
+/// gated so that no node ever runs more than map_slots_per_node tasks at
+/// once, and reducers run one-per-partition on the same pool. Cluster
 /// effects — locality-aware slot scheduling, local vs remote reads, the
-/// shuffle — are simulated through the cost model, producing the "map
-/// time" and "total time" columns of the paper's Table 1.
+/// shuffle — are still simulated through the cost model, producing the
+/// "map time" and "total time" columns of the paper's Table 1.
+///
+/// Determinism: task→node assignment is computed serially in split order
+/// before any task runs, and task/partition results are merged back in
+/// that same order, so job output and all non-timing report fields are
+/// byte-identical whatever JobConfig::parallelism is (1 = the original
+/// serial engine, preserved for paper-figure runs).
 class JobRunner {
  public:
   explicit JobRunner(MiniHdfs* fs) : fs_(fs), cost_model_(fs->config()) {}
 
-  /// Executes the job; fills *report. Fails fast on the first task error.
+  /// Executes the job; fills *report. Fails on the first task error in
+  /// split order (the serial path stops there; the parallel path finishes
+  /// in-flight tasks, then reports the lowest-index failure).
   Status Run(const Job& job, JobReport* report);
 
  private:
+  struct MapTaskResult;
+
   /// Picks the execution node for a split: the least-loaded node holding
   /// all of the split's files, unless it is overloaded relative to a
   /// balanced assignment, in which case the scheduler falls back to the

@@ -39,6 +39,15 @@ struct JobConfig {
 
   /// Split size hint for row formats; 0 = HDFS block size.
   uint64_t split_size = 0;
+
+  /// Worker threads for task execution. 0 (default) sizes the pool to
+  /// min(hardware_concurrency, cluster map slots); 1 runs every task
+  /// inline on the calling thread — bit-for-bit the old serial engine,
+  /// kept for paper-figure reproducibility; N > 1 forces N threads.
+  /// Output and every non-timing report field are identical across all
+  /// settings: scheduling is decided in split order before dispatch and
+  /// results are merged back in split/partition order.
+  int parallelism = 0;
 };
 
 /// Receives the key/value pairs produced by map and reduce functions.
@@ -94,7 +103,7 @@ struct JobReport {
   uint64_t map_output_bytes = 0;
   uint64_t reduce_output_records = 0;
 
-  double map_cpu_seconds = 0;       // summed over tasks (measured)
+  double map_cpu_seconds = 0;       // summed over tasks (per-thread CPU clock)
   /// Simulated cluster map-phase makespan (LPT packing onto slots).
   double map_phase_seconds = 0;
   /// The paper's "map time" metric (Section 6.3): total simulated task
@@ -103,6 +112,16 @@ struct JobReport {
   double shuffle_seconds = 0;       // simulated
   double reduce_phase_seconds = 0;  // simulated
   double total_seconds = 0;         // simulated end-to-end
+
+  /// Measured wall-clock duration of Run() itself — the quantity the
+  /// parallel engine actually shrinks (total_seconds is simulated cluster
+  /// time and is invariant to the local thread count).
+  double wall_seconds = 0;
+  /// Worker threads the engine executed with (1 = serial path).
+  int worker_threads = 1;
+  /// Peak number of concurrently *executing* map tasks per node, recorded
+  /// by the slot gate; never exceeds config.map_slots_per_node.
+  std::vector<int> peak_node_slots;
 
   int data_local_tasks = 0;
   int remote_tasks = 0;

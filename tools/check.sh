@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the full test suite three ways —
+# plain, under ThreadSanitizer (the parallel engine's data-race gate),
+# and under AddressSanitizer. Usage:
+#
+#   tools/check.sh            # all three configurations
+#   tools/check.sh plain      # just the normal build
+#   tools/check.sh thread     # just the TSan build
+#   tools/check.sh address    # just the ASan build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+if [[ $# -gt 0 ]]; then MODES=("$@"); else MODES=(plain thread address); fi
+
+run_mode() {
+  local mode="$1" dir sanitize
+  case "$mode" in
+    plain)   dir=build          sanitize="" ;;
+    thread)  dir=build-tsan     sanitize=thread ;;
+    address) dir=build-asan     sanitize=address ;;
+    *) echo "unknown mode: $mode (want plain|thread|address)" >&2; exit 2 ;;
+  esac
+  echo "=== [$mode] configure + build ($dir) ==="
+  cmake -B "$dir" -S . -DCOLMR_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$mode] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+for mode in "${MODES[@]}"; do
+  run_mode "$mode"
+done
+echo "=== all checks passed ==="
