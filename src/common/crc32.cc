@@ -1,18 +1,32 @@
 #include "common/crc32.h"
 
+#include <cstring>
+
 namespace colmr {
 
 namespace {
 
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; the
+/// other seven let the hot loop fold 8 input bytes per iteration. The
+/// polynomial and bit order are unchanged, so every value matches the old
+/// single-table implementation — the speedup matters because sealed-block
+/// verification now runs a CRC pass over each block the read path serves.
 struct CrcTable {
-  uint32_t entries[256];
+  uint32_t entries[8][256];
   CrcTable() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      entries[i] = c;
+      entries[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = entries[0][i];
+      for (int t = 1; t < 8; ++t) {
+        c = entries[0][c & 0xff] ^ (c >> 8);
+        entries[t][i] = c;
+      }
     }
   }
 };
@@ -26,10 +40,26 @@ const CrcTable& Table() {
 
 uint32_t Crc32Extend(uint32_t crc, Slice data) {
   const CrcTable& table = Table();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
   crc = ~crc;
-  for (size_t i = 0; i < data.size(); ++i) {
-    crc = table.entries[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^
-          (crc >> 8);
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = table.entries[7][lo & 0xff] ^ table.entries[6][(lo >> 8) & 0xff] ^
+          table.entries[5][(lo >> 16) & 0xff] ^ table.entries[4][lo >> 24] ^
+          table.entries[3][hi & 0xff] ^ table.entries[2][(hi >> 8) & 0xff] ^
+          table.entries[1][(hi >> 16) & 0xff] ^ table.entries[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = table.entries[0][(crc ^ *p) & 0xff] ^ (crc >> 8);
+    ++p;
+    --n;
   }
   return ~crc;
 }

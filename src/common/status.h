@@ -21,6 +21,7 @@ class Status {
     kIoError,
     kNotSupported,
     kOutOfRange,
+    kDataLoss,
   };
 
   /// Default-constructed Status is success.
@@ -53,6 +54,16 @@ class Status {
   static Status OutOfRange(std::string_view msg) {
     return Status(Code::kOutOfRange, msg);
   }
+  /// Every replica of some block is gone (dead or marked bad): the bytes
+  /// are unrecoverable, as opposed to kIoError's retryable failures.
+  static Status DataLoss(std::string_view msg) {
+    return Status(Code::kDataLoss, msg);
+  }
+  /// Rebuilds a status from an inspected code, for callers that wrap an
+  /// underlying failure with more context.
+  static Status FromCode(Code code, std::string_view msg) {
+    return code == Code::kOk ? OK() : Status(code, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -62,6 +73,7 @@ class Status {
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -51,6 +51,16 @@ struct IoStats {
   uint64_t seeks = 0;
   uint64_t reads = 0;
 
+  // ---- Failure-path accounting (fault injection and recovery) ----
+  /// Replica-read attempts that failed (injected transient error or
+  /// checksum mismatch) and were retried against another replica.
+  uint64_t failover_reads = 0;
+  /// Replica reads whose block CRC did not match the namenode's checksum.
+  uint64_t checksum_failures = 0;
+  /// Injected datanode latency (slow-node faults), charged by the cost
+  /// model on top of bandwidth and seek terms.
+  double stall_seconds = 0;
+
   uint64_t TotalBytes() const { return local_bytes + remote_bytes; }
 
   void Add(const IoStats& other) {
@@ -58,6 +68,9 @@ struct IoStats {
     remote_bytes += other.remote_bytes;
     seeks += other.seeks;
     reads += other.reads;
+    failover_reads += other.failover_reads;
+    checksum_failures += other.checksum_failures;
+    stall_seconds += other.stall_seconds;
   }
 };
 

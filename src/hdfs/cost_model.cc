@@ -15,7 +15,10 @@ double CostModel::TaskSeconds(const TaskCost& cost) const {
       (config_.network_bandwidth_mbps * 1e6);
   const double seek_seconds =
       static_cast<double>(cost.io.seeks) * config_.seek_latency_ms / 1e3;
-  return cost.cpu_seconds + local_seconds + remote_seconds + seek_seconds;
+  // stall_seconds carries injected slow-datanode latency (fault model);
+  // zero when fault injection is off.
+  return cost.cpu_seconds + local_seconds + remote_seconds + seek_seconds +
+         cost.io.stall_seconds;
 }
 
 double CostModel::MapPhaseSeconds(

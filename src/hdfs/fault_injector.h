@@ -1,0 +1,115 @@
+#ifndef COLMR_HDFS_FAULT_INJECTOR_H_
+#define COLMR_HDFS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+
+#include "hdfs/cluster.h"
+
+namespace colmr {
+
+/// Deterministic fault schedule for the simulated datanodes. Configured on
+/// MiniHdfs (SetFaultConfig) and consulted by FileReader on every replica
+/// read attempt. All probabilistic faults are driven by a counter-mode
+/// hash of (seed, block, replica node, task salt, draw index), never by a
+/// shared RNG: whether a given attempt fails is a pure function of what
+/// the task is doing, so fault schedules reproduce exactly across runs and
+/// are independent of thread interleaving.
+///
+/// Fault taxonomy (see DESIGN.md §7):
+///  - transient replica read errors (`read_error_p`, per replica attempt):
+///    the client fails over to the next replica within the same read;
+///  - per-node flakiness (`flaky_nodes` + `flaky_read_error_p`): elevated
+///    transient-error probability when a specific datanode serves;
+///  - broken execution nodes (`broken_nodes`): every read issued by a task
+///    running on such a node fails — the "bad local disk controller"
+///    failure Hadoop's tracker blacklisting exists for;
+///  - slow datanodes (`slow_nodes` + `slow_read_latency_ms`): reads
+///    succeed but charge extra latency through the cost model.
+/// Permanent replica corruption (bit-flips caught by block CRCs) is not
+/// probabilistic; it is registered per replica via MiniHdfs::CorruptReplica.
+struct FaultConfig {
+  uint64_t seed = 1;
+
+  /// Probability that any single replica read attempt fails transiently.
+  double read_error_p = 0;
+
+  /// Datanodes whose serves fail with `flaky_read_error_p` instead of
+  /// `read_error_p`.
+  std::set<NodeId> flaky_nodes;
+  double flaky_read_error_p = 0;
+
+  /// Execution nodes whose tasks cannot read at all: every read issued
+  /// from a ReadContext on one of these nodes fails with IoError, whatever
+  /// replica would serve it.
+  std::set<NodeId> broken_nodes;
+
+  /// Datanodes that serve correctly but slowly; each read they serve
+  /// charges this much extra latency into IoStats::stall_seconds.
+  std::set<NodeId> slow_nodes;
+  double slow_read_latency_ms = 0;
+
+  bool active() const {
+    return read_error_p > 0 || !flaky_nodes.empty() ||
+           !broken_nodes.empty() || !slow_nodes.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool active() const { return config_.active(); }
+
+  /// True when the read attempt of `block` against replica `node` should
+  /// fail transiently. `salt` identifies the task attempt issuing the read
+  /// (so re-executed tasks draw a fresh schedule) and `draw` is the
+  /// caller's running draw counter.
+  bool ReadAttemptFails(uint64_t block, NodeId node, uint64_t salt,
+                        uint64_t draw) const {
+    double p = config_.read_error_p;
+    if (config_.flaky_nodes.count(node) > 0) p = config_.flaky_read_error_p;
+    if (p <= 0) return false;
+    return UnitDraw(block, node, salt, draw) < p;
+  }
+
+  /// True when the execution node itself cannot read (broken-node fault).
+  bool ExecutionNodeBroken(NodeId node) const {
+    return node != kAnyNode && config_.broken_nodes.count(node) > 0;
+  }
+
+  /// Injected latency for one read served by `node`, in seconds.
+  double ServeStallSeconds(NodeId node) const {
+    if (config_.slow_read_latency_ms <= 0 ||
+        config_.slow_nodes.count(node) == 0) {
+      return 0;
+    }
+    return config_.slow_read_latency_ms / 1e3;
+  }
+
+ private:
+  /// splitmix64 finalizer — a strong deterministic mix of the draw
+  /// coordinates into [0, 1).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  double UnitDraw(uint64_t block, NodeId node, uint64_t salt,
+                  uint64_t draw) const {
+    uint64_t h = Mix(config_.seed ^ Mix(block));
+    h = Mix(h ^ Mix(static_cast<uint64_t>(node) + 0x51ed2701ull));
+    h = Mix(h ^ Mix(salt * 0x100000001b3ull + draw));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  FaultConfig config_;
+};
+
+}  // namespace colmr
+
+#endif  // COLMR_HDFS_FAULT_INJECTOR_H_

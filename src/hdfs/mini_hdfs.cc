@@ -9,6 +9,7 @@
 #include <shared_mutex>
 
 #include "common/coding.h"
+#include "common/crc32.h"
 
 namespace colmr {
 
@@ -42,9 +43,16 @@ Status MiniHdfs::Open(const std::string& path, const ReadContext& context,
   std::shared_lock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
-  // The FileMeta pointer stays valid across the unlock: map nodes are
-  // stable, and the contract forbids Delete/LoadImage while open.
-  reader->reset(new FileReader(this, &it->second, context));
+  // Snapshot block metadata and take shared ownership of the data: the
+  // reader stays valid across a concurrent Delete/LoadImage, serving the
+  // bytes the file had when it was opened.
+  std::vector<FileReader::BlockRef> blocks;
+  blocks.reserve(it->second.blocks.size());
+  for (const BlockInfo& block : it->second.blocks) {
+    blocks.push_back(FileReader::BlockRef{block, block_data_.at(block.id)});
+  }
+  reader->reset(new FileReader(this, path, std::move(blocks), it->second.size,
+                               context, FaultInjector(fault_config_)));
   return Status::OK();
 }
 
@@ -76,7 +84,8 @@ Status MiniHdfs::Delete(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   for (const BlockInfo& block : it->second.blocks) {
-    block_data_.erase(block.id);
+    block_data_.erase(block.id);  // readers keep their shared_ptr snapshot
+    for (NodeId node : block.replicas) ForgetReplicaLocked(block.id, node);
   }
   files_.erase(it);
   return Status::OK();
@@ -111,6 +120,15 @@ Status MiniHdfs::GetBlockLocations(const std::string& path,
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   *blocks = it->second.blocks;
+  // A replica marked bad must not look like local data to the scheduler.
+  for (BlockInfo& block : *blocks) {
+    block.replicas.erase(
+        std::remove_if(block.replicas.begin(), block.replicas.end(),
+                       [&](NodeId node) {
+                         return bad_replicas_.count({block.id, node}) > 0;
+                       }),
+        block.replicas.end());
+  }
   return Status::OK();
 }
 
@@ -123,7 +141,10 @@ std::vector<NodeId> MiniHdfs::CommonReplicaNodes(
     auto it = files_.find(path);
     if (it == files_.end()) return {};
     for (const BlockInfo& block : it->second.blocks) {
-      std::set<NodeId> holders(block.replicas.begin(), block.replicas.end());
+      std::set<NodeId> holders;
+      for (NodeId node : block.replicas) {
+        if (bad_replicas_.count({block.id, node}) == 0) holders.insert(node);
+      }
       if (first) {
         common = holders;
         first = false;
@@ -140,6 +161,83 @@ std::vector<NodeId> MiniHdfs::CommonReplicaNodes(
   return std::vector<NodeId>(common.begin(), common.end());
 }
 
+// ---- Fault injection ----
+
+void MiniHdfs::SetFaultConfig(const FaultConfig& config) {
+  std::unique_lock lock(mu_);
+  fault_config_ = config;
+}
+
+FaultConfig MiniHdfs::fault_config() const {
+  std::shared_lock lock(mu_);
+  return fault_config_;
+}
+
+Status MiniHdfs::CorruptReplica(const std::string& path, size_t block_index,
+                                size_t replica_ordinal, NodeId* node) {
+  std::unique_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (block_index >= it->second.blocks.size()) {
+    return Status::InvalidArgument("block index out of range");
+  }
+  const BlockInfo& block = it->second.blocks[block_index];
+  if (replica_ordinal >= block.replicas.size()) {
+    return Status::InvalidArgument("replica ordinal out of range");
+  }
+  const NodeId target = block.replicas[replica_ordinal];
+  corrupted_.insert({block.id, target});
+  if (node != nullptr) *node = target;
+  return Status::OK();
+}
+
+Status MiniHdfs::MarkReplicaBad(uint64_t block_id, NodeId node) const {
+  std::unique_lock lock(mu_);
+  if (block_data_.count(block_id) == 0) {
+    return Status::NotFound("no such block");
+  }
+  if (bad_replicas_.insert({block_id, node}).second) {
+    ++bad_replica_marks_;
+  }
+  return Status::OK();
+}
+
+uint64_t MiniHdfs::bad_replica_marks() const {
+  std::shared_lock lock(mu_);
+  return bad_replica_marks_;
+}
+
+void MiniHdfs::ForgetReplicaLocked(uint64_t block_id, NodeId node) {
+  corrupted_.erase({block_id, node});
+  bad_replicas_.erase({block_id, node});
+}
+
+std::vector<MiniHdfs::ReplicaCandidate> MiniHdfs::ReadCandidates(
+    const BlockInfo& snapshot, NodeId prefer) const {
+  std::shared_lock lock(mu_);
+  std::vector<ReplicaCandidate> candidates;
+  candidates.reserve(snapshot.replicas.size());
+  std::vector<NodeId> nodes = snapshot.replicas;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  // Local replica first (that choice is what the locality accounting and
+  // the paper's co-location experiment measure), then ascending node id
+  // for a deterministic failover order.
+  auto prefer_it = std::find(nodes.begin(), nodes.end(), prefer);
+  if (prefer_it != nodes.end()) {
+    std::rotate(nodes.begin(), prefer_it, prefer_it + 1);
+  }
+  for (NodeId node : nodes) {
+    if (dead_nodes_.count(node) > 0) continue;
+    if (bad_replicas_.count({snapshot.id, node}) > 0) continue;
+    candidates.push_back(
+        ReplicaCandidate{node, corrupted_.count({snapshot.id, node}) > 0});
+  }
+  return candidates;
+}
+
+// ---- Datanode failure and recovery ----
+
 Status MiniHdfs::KillNode(NodeId node) {
   if (node < 0 || node >= config_.num_nodes) {
     return Status::InvalidArgument("no such node");
@@ -150,13 +248,30 @@ Status MiniHdfs::KillNode(NodeId node) {
   }
   for (auto& [path, meta] : files_) {
     for (BlockInfo& block : meta.blocks) {
+      auto held = std::find(block.replicas.begin(), block.replicas.end(), node);
+      if (held == block.replicas.end()) continue;
       block.replicas.erase(
           std::remove(block.replicas.begin(), block.replicas.end(), node),
           block.replicas.end());
+      ForgetReplicaLocked(block.id, node);
     }
   }
   return Status::OK();
 }
+
+namespace {
+
+/// Live replicas of a block not marked bad. Caller holds the lock.
+size_t GoodReplicaCount(const BlockInfo& block,
+                        const std::set<std::pair<uint64_t, NodeId>>& bad) {
+  size_t good = 0;
+  for (NodeId node : block.replicas) {
+    if (bad.count({block.id, node}) == 0) ++good;
+  }
+  return good;
+}
+
+}  // namespace
 
 uint64_t MiniHdfs::UnderReplicatedBlockCount() const {
   std::shared_lock lock(mu_);
@@ -166,7 +281,18 @@ uint64_t MiniHdfs::UnderReplicatedBlockCount() const {
   uint64_t count = 0;
   for (const auto& [path, meta] : files_) {
     for (const BlockInfo& block : meta.blocks) {
-      if (block.replicas.size() < target) ++count;
+      if (GoodReplicaCount(block, bad_replicas_) < target) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t MiniHdfs::LostBlockCount() const {
+  std::shared_lock lock(mu_);
+  uint64_t count = 0;
+  for (const auto& [path, meta] : files_) {
+    for (const BlockInfo& block : meta.blocks) {
+      if (GoodReplicaCount(block, bad_replicas_) == 0) ++count;
     }
   }
   return count;
@@ -177,17 +303,43 @@ Status MiniHdfs::ReReplicate() {
   const size_t target = static_cast<size_t>(
       std::min(config_.replication,
                config_.num_nodes - static_cast<int>(dead_nodes_.size())));
+  uint64_t lost = 0;
   for (auto& [path, meta] : files_) {
     for (BlockInfo& block : meta.blocks) {
+      // Drop replicas reported bad: re-replication copies from a good
+      // replica, and the bad copy's slot is what gets refilled.
+      block.replicas.erase(
+          std::remove_if(block.replicas.begin(), block.replicas.end(),
+                         [&](NodeId node) {
+                           if (bad_replicas_.count({block.id, node}) == 0) {
+                             return false;
+                           }
+                           ForgetReplicaLocked(block.id, node);
+                           return true;
+                         }),
+          block.replicas.end());
+      if (block.replicas.empty()) {
+        // No good copy to replicate from — the data is gone. Never
+        // resurrect it from the simulator's in-memory bytes.
+        ++lost;
+        continue;
+      }
       while (block.replicas.size() < target) {
         const NodeId fresh = placement_->ChooseReplacement(
             path, block.replicas, config_.num_nodes, dead_nodes_);
         if (fresh == kAnyNode) {
           return Status::IoError("no eligible node for re-replication");
         }
+        // The fresh copy is written from a verified-good replica; stale
+        // health marks for this (block, node) pair no longer apply.
+        ForgetReplicaLocked(block.id, fresh);
         block.replicas.push_back(fresh);
       }
     }
+  }
+  if (lost > 0) {
+    return Status::DataLoss("blocks with no surviving good replica: " +
+                            std::to_string(lost));
   }
   return Status::OK();
 }
@@ -226,8 +378,20 @@ Status MiniHdfs::SaveImage(const std::string& local_path) const {
       for (NodeId node : block.replicas) {
         PutVarint64(&image, static_cast<uint64_t>(node));
       }
-      PutLengthPrefixed(&image, block_data_.at(block.id));
+      PutLengthPrefixed(&image, *block_data_.at(block.id));
     }
+  }
+  // Replica-health sections. Appended after the original layout so images
+  // written by older builds (which end at the files section) still load.
+  PutVarint64(&image, corrupted_.size());
+  for (const auto& [block_id, node] : corrupted_) {
+    PutVarint64(&image, block_id);
+    PutVarint64(&image, static_cast<uint64_t>(node));
+  }
+  PutVarint64(&image, bad_replicas_.size());
+  for (const auto& [block_id, node] : bad_replicas_) {
+    PutVarint64(&image, block_id);
+    PutVarint64(&image, static_cast<uint64_t>(node));
   }
 
   std::ofstream out(local_path, std::ios::binary | std::ios::trunc);
@@ -289,19 +453,47 @@ Status MiniHdfs::LoadImage(const std::string& local_path) {
       Slice data;
       COLMR_RETURN_IF_ERROR(GetLengthPrefixed(&cursor, &data));
       block.size = data.size();
+      // Images don't carry checksums; the namenode-recorded CRC is
+      // recomputed from the stored (uncorrupted) bytes.
+      block.crc = Crc32(data);
       meta.size += data.size();
-      loaded.block_data_[block.id] = data.ToString();
+      loaded.block_data_[block.id] =
+          std::make_shared<const std::string>(data.ToString());
       meta.blocks.push_back(std::move(block));
     }
     loaded.files_.emplace(path.ToString(), std::move(meta));
   }
+  // Optional replica-health sections (absent in images from older builds).
+  if (!cursor.empty()) {
+    uint64_t corrupt_count;
+    COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &corrupt_count));
+    for (uint64_t i = 0; i < corrupt_count; ++i) {
+      uint64_t block_id;
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &block_id));
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+      loaded.corrupted_.insert({block_id, static_cast<NodeId>(v)});
+    }
+    uint64_t bad_count;
+    COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &bad_count));
+    for (uint64_t i = 0; i < bad_count; ++i) {
+      uint64_t block_id;
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &block_id));
+      COLMR_RETURN_IF_ERROR(GetVarint64(&cursor, &v));
+      loaded.bad_replicas_.insert({block_id, static_cast<NodeId>(v)});
+    }
+    loaded.bad_replica_marks_ = bad_count;
+  }
   if (!cursor.empty()) return Status::Corruption("trailing bytes in image");
 
-  // Adopt the loaded state, keeping our placement policy for new writes.
+  // Adopt the loaded state, keeping our placement policy (future writes)
+  // and fault config (runtime-only, never persisted).
   config_ = loaded.config_;
   files_ = std::move(loaded.files_);
   block_data_ = std::move(loaded.block_data_);
   dead_nodes_ = std::move(loaded.dead_nodes_);
+  corrupted_ = std::move(loaded.corrupted_);
+  bad_replicas_ = std::move(loaded.bad_replicas_);
+  bad_replica_marks_ = loaded.bad_replica_marks_;
   next_block_id_ = loaded.next_block_id_;
   return Status::OK();
 }
@@ -330,10 +522,12 @@ void FileWriter::SealBlock() {
   BlockInfo block;
   block.id = fs_->next_block_id_++;
   block.size = take;
+  block.crc = Crc32(Slice(pending_.data(), take));
   block.replicas = fs_->placement_->ChooseTargets(
       path_, next_block_index_++, fs_->config_.num_nodes,
       fs_->config_.replication);
-  fs_->block_data_[block.id] = pending_.substr(0, take);
+  fs_->block_data_[block.id] =
+      std::make_shared<const std::string>(pending_.substr(0, take));
   pending_.erase(0, take);
 
   auto& meta = fs_->files_[path_];
@@ -350,9 +544,96 @@ Status FileWriter::Close() {
 
 // ---- FileReader ----
 
-FileReader::FileReader(const MiniHdfs* fs, const MiniHdfs::FileMeta* meta,
-                       ReadContext context)
-    : fs_(fs), meta_(meta), context_(context), size_(meta->size) {}
+FileReader::FileReader(const MiniHdfs* fs, std::string path,
+                       std::vector<BlockRef> blocks, uint64_t size,
+                       ReadContext context, FaultInjector faults)
+    : fs_(fs),
+      path_(std::move(path)),
+      blocks_(std::move(blocks)),
+      context_(context),
+      size_(size),
+      faults_(std::move(faults)) {}
+
+namespace {
+
+/// CRC-32 of a block as served by one replica: the stored bytes, with one
+/// bit flipped when the replica is registered corrupt. Computed by
+/// chaining over slices so the corrupt case needs no block-sized copy.
+uint32_t ServedCrc(const std::string& data, bool corrupted) {
+  if (!corrupted || data.empty()) return Crc32(Slice(data));
+  const size_t flip = data.size() / 2;
+  const char flipped = static_cast<char>(data[flip] ^ 0x01);
+  uint32_t crc = Crc32Extend(0, Slice(data.data(), flip));
+  crc = Crc32Extend(crc, Slice(&flipped, 1));
+  return Crc32Extend(crc, Slice(data.data() + flip + 1,
+                                data.size() - flip - 1));
+}
+
+}  // namespace
+
+Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
+                             std::string* out) const {
+  if (faults_.ExecutionNodeBroken(context_.node)) {
+    return Status::IoError("node " + std::to_string(context_.node) +
+                           " cannot read (broken-node fault)");
+  }
+  const std::vector<MiniHdfs::ReplicaCandidate> candidates =
+      fs_->ReadCandidates(block.info, context_.node);
+  size_t transient_failures = 0;
+  for (const MiniHdfs::ReplicaCandidate& candidate : candidates) {
+    // Injected transient error: charge the failover (plus a reconnect
+    // seek) and move on to the next replica.
+    if (faults_.active() &&
+        faults_.ReadAttemptFails(block.info.id, candidate.node,
+                                 context_.fault_salt, fault_draws_++)) {
+      ++transient_failures;
+      if (context_.stats != nullptr) {
+        context_.stats->failover_reads += 1;
+        context_.stats->seeks += 1;
+      }
+      continue;
+    }
+    // Verify the block checksum the first time this replica serves this
+    // reader. A mismatch permanently reports the replica to the namenode.
+    if (verified_.count({block.info.id, candidate.node}) == 0) {
+      if (ServedCrc(*block.data, candidate.corrupted) != block.info.crc) {
+        if (context_.stats != nullptr) {
+          context_.stats->checksum_failures += 1;
+          context_.stats->failover_reads += 1;
+          context_.stats->seeks += 1;
+        }
+        fs_->MarkReplicaBad(block.info.id, candidate.node);
+        continue;
+      }
+      verified_.insert({block.info.id, candidate.node});
+    }
+    out->append(*block.data, from, to - from);
+    if (context_.stats != nullptr) {
+      // Local-first candidate order means the local replica serves
+      // whenever it is live and good, so fault-free accounting matches
+      // the pre-failover definition ("local iff the reading node holds a
+      // replica") byte for byte.
+      const bool is_local =
+          context_.node == kAnyNode || candidate.node == context_.node;
+      if (is_local) {
+        context_.stats->local_bytes += to - from;
+      } else {
+        context_.stats->remote_bytes += to - from;
+      }
+      context_.stats->stall_seconds += faults_.ServeStallSeconds(candidate.node);
+    }
+    return Status::OK();
+  }
+  if (transient_failures > 0) {
+    // Some replica may still be good — the failure is retryable at the
+    // task level, so it must not be reported as data loss.
+    return Status::IoError("all replicas of block " +
+                           std::to_string(block.info.id) + " of " + path_ +
+                           " failed transiently");
+  }
+  return Status::DataLoss("no live good replica of block " +
+                          std::to_string(block.info.id) + " of " + path_);
+}
 
 Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
   out->clear();
@@ -364,29 +645,14 @@ Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
     context_.stats->reads += 1;
   }
 
-  // Walk blocks covering [offset, offset + n). The shared lock pins the
-  // block map against concurrent writers sealing blocks of other files;
-  // this file's own blocks are immutable (it was sealed before opening).
-  std::shared_lock lock(fs_->mu_);
   uint64_t block_start = 0;
-  for (const BlockInfo& block : meta_->blocks) {
-    const uint64_t block_end = block_start + block.size;
+  for (const BlockRef& block : blocks_) {
+    const uint64_t block_end = block_start + block.info.size;
     if (block_end > offset && block_start < offset + n) {
       const uint64_t from = std::max(offset, block_start);
       const uint64_t to = std::min(offset + n, block_end);
-      const std::string& data = fs_->block_data_.at(block.id);
-      out->append(data, from - block_start, to - from);
-      if (context_.stats != nullptr) {
-        const bool is_local =
-            context_.node == kAnyNode ||
-            std::find(block.replicas.begin(), block.replicas.end(),
-                      context_.node) != block.replicas.end();
-        if (is_local) {
-          context_.stats->local_bytes += to - from;
-        } else {
-          context_.stats->remote_bytes += to - from;
-        }
-      }
+      COLMR_RETURN_IF_ERROR(
+          ReadBlock(block, from - block_start, to - block_start, out));
     }
     block_start = block_end;
     if (block_start >= offset + n) break;

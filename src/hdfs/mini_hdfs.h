@@ -6,12 +6,14 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "hdfs/cluster.h"
+#include "hdfs/fault_injector.h"
 #include "hdfs/placement.h"
 
 namespace colmr {
@@ -21,18 +23,23 @@ class FileReader;
 
 /// One replicated block of a file. Data is stored once in the process;
 /// `replicas` is the placement metadata that drives locality accounting
-/// and scheduling.
+/// and scheduling. `crc` is the CRC-32 of the block contents, recorded by
+/// the namenode at seal time and verified per replica on read.
 struct BlockInfo {
   uint64_t id = 0;
   uint64_t size = 0;
+  uint32_t crc = 0;
   std::vector<NodeId> replicas;
 };
 
 /// Where a read is executing, for locality accounting. node == kAnyNode
-/// means "no placement": every byte counts as local.
+/// means "no placement": every byte counts as local. fault_salt
+/// identifies the task attempt issuing reads, so a re-executed task draws
+/// a fresh (but still deterministic) fault schedule.
 struct ReadContext {
   NodeId node = kAnyNode;
   IoStats* stats = nullptr;  // optional sink; may be null
+  uint64_t fault_salt = 0;
 };
 
 /// In-process HDFS: a namenode namespace of append-only files split into
@@ -40,16 +47,25 @@ struct ReadContext {
 /// memory; the "cluster" exists as placement metadata plus the cost model,
 /// which is all the paper's techniques interact with.
 ///
+/// Failure model (DESIGN.md §7): every sealed block carries a CRC-32;
+/// FileReader verifies it per replica and fails over across replicas on
+/// injected transient errors or checksum mismatches, reporting corrupt
+/// replicas back to the namenode (MarkReplicaBad). Replicas marked bad
+/// count as missing for UnderReplicatedBlockCount and are repaired by
+/// ReReplicate; a block with no live good replica reads as DataLoss.
+/// Faults are injected deterministically via SetFaultConfig.
+///
 /// Thread-safety contract (the parallel JobRunner depends on it): namenode
 /// metadata is guarded by a shared_mutex — any number of concurrent
 /// readers (Open, FileReader::Read, GetBlockLocations, ListDir,
 /// CommonReplicaNodes, Exists, ...) may run alongside each other, while
 /// mutations (Create, Delete, KillNode, ReReplicate, LoadImage, and block
 /// seals from FileWriter) take the lock exclusively. Block data is
-/// immutable once its file's writer is Close()d, so sealed files can be
-/// read from many threads without copying. Callers must still not Delete
-/// a file, kill nodes, or load an image while readers of that file are in
-/// flight — the same external-coordination rule real HDFS imposes.
+/// immutable once its file's writer is Close()d and FileReader snapshots
+/// block metadata plus shared ownership of the data at Open, so Delete,
+/// KillNode, and LoadImage are safe while readers of the file are in
+/// flight: in-flight readers keep serving their snapshot, and later reads
+/// observe liveness changes (dead nodes, bad replicas) per call.
 class MiniHdfs {
  public:
   /// Takes ownership of the placement policy (HDFS's
@@ -70,6 +86,9 @@ class MiniHdfs {
   Status Create(const std::string& path, std::unique_ptr<FileWriter>* writer);
 
   /// Opens an existing file for positioned reads in the given context.
+  /// The reader snapshots the file's block metadata and takes shared
+  /// ownership of the block data, so it stays valid (and keeps serving)
+  /// across a concurrent Delete or LoadImage.
   Status Open(const std::string& path, const ReadContext& context,
               std::unique_ptr<FileReader>* reader) const;
 
@@ -83,25 +102,52 @@ class MiniHdfs {
                  std::vector<std::string>* children) const;
 
   /// Block placement metadata of a file, for locality-aware scheduling.
+  /// Replicas marked bad are excluded: the scheduler must not treat a
+  /// corrupt copy as local data.
   Status GetBlockLocations(const std::string& path,
                            std::vector<BlockInfo>* blocks) const;
 
-  /// Nodes holding a local replica of every block of every listed file —
-  /// the candidate nodes on which a split over those files is fully local.
-  /// Empty when no such node exists (the Fig. 3a situation).
+  /// Nodes holding a good local replica of every block of every listed
+  /// file — the candidate nodes on which a split over those files is fully
+  /// local. Empty when no such node exists (the Fig. 3a situation).
   std::vector<NodeId> CommonReplicaNodes(
       const std::vector<std::string>& paths) const;
 
   /// Total bytes stored (pre-replication), for space-usage reporting.
   uint64_t TotalStoredBytes() const;
 
+  // ---- Fault injection ----
+
+  /// Installs a deterministic fault schedule consulted by readers opened
+  /// after this call (FileReader snapshots the config at Open).
+  void SetFaultConfig(const FaultConfig& config);
+  FaultConfig fault_config() const;
+
+  /// Registers permanent corruption (a bit-flip) of one replica of one
+  /// block: reads served by `replicas[replica_ordinal]` of block
+  /// `block_index` return flipped bytes, which the per-replica CRC check
+  /// catches. Other replicas are untouched. Reports the corrupted node
+  /// through *node when non-null.
+  Status CorruptReplica(const std::string& path, size_t block_index,
+                        size_t replica_ordinal, NodeId* node = nullptr);
+
+  /// Reports a replica as bad (checksum mismatch observed by a client).
+  /// The replica stops serving reads, counts as missing for
+  /// UnderReplicatedBlockCount, and is replaced by ReReplicate. Called by
+  /// FileReader on CRC mismatch; public for tests and tools. Const
+  /// because replica health is client-observed state layered over the
+  /// immutable placement snapshot readers hold.
+  Status MarkReplicaBad(uint64_t block_id, NodeId node) const;
+
+  /// Total replicas ever reported bad (for tools and tests).
+  uint64_t bad_replica_marks() const;
+
   // ---- Datanode failure and recovery (the paper's Section 4.3 future
   // work: "re-replication after failures") ----
 
   /// Marks a datanode dead: its replicas vanish from every block. Blocks
-  /// whose last replica dies keep their (simulated) data but report as
-  /// lost until re-replicated from... nowhere — with 3-way replication
-  /// that requires three simultaneous failures.
+  /// whose last replica dies are lost: reads return DataLoss and
+  /// ReReplicate reports them instead of resurrecting the data.
   Status KillNode(NodeId node);
 
   bool IsNodeDead(NodeId node) const;
@@ -109,20 +155,28 @@ class MiniHdfs {
   std::set<NodeId> dead_nodes() const;
 
   /// Number of blocks currently holding fewer than `replication` live
-  /// replicas.
+  /// good replicas (replicas marked bad count as missing).
   uint64_t UnderReplicatedBlockCount() const;
 
-  /// Restores full replication by asking the placement policy for a
-  /// replacement node per missing replica. Under ColumnPlacementPolicy
-  /// the files of each split-directory move to the same fresh nodes, so
-  /// co-location survives the failure.
+  /// Number of blocks with no live good replica at all — their data is
+  /// unrecoverable.
+  uint64_t LostBlockCount() const;
+
+  /// Restores full replication by dropping replicas marked bad and asking
+  /// the placement policy for a replacement node per missing replica.
+  /// Under ColumnPlacementPolicy the files of each split-directory move to
+  /// the same fresh nodes, so co-location survives the failure. Blocks
+  /// with no surviving good replica cannot be re-replicated — they are
+  /// left as-is and reported via a DataLoss status (the repairable blocks
+  /// are still repaired).
   Status ReReplicate();
 
   // ---- Image persistence ----
 
   /// Serializes the entire filesystem (cluster config, namespace, block
-  /// placement, block contents, dead-node set) to one local file, so the
-  /// command-line tools can operate on datasets across process runs.
+  /// placement, block contents, dead-node set, corrupt/bad replica marks)
+  /// to one local file, so the command-line tools can operate on datasets
+  /// across process runs.
   Status SaveImage(const std::string& local_path) const;
 
   /// Replaces this filesystem's state with a previously saved image.
@@ -138,6 +192,26 @@ class MiniHdfs {
     uint64_t size = 0;
   };
 
+  /// (block id, node): identifies one replica of one block.
+  using ReplicaKey = std::pair<uint64_t, NodeId>;
+
+  /// One replica a reader may fetch a block from, in failover order.
+  struct ReplicaCandidate {
+    NodeId node = kAnyNode;
+    bool corrupted = false;
+  };
+
+  /// Live, good replicas of a block in deterministic failover order:
+  /// `prefer` (the reading node) first when it holds one, then ascending
+  /// node id. Dead nodes and replicas marked bad are excluded; corruption
+  /// flags are attached. Takes the namespace lock (shared).
+  std::vector<ReplicaCandidate> ReadCandidates(
+      const BlockInfo& snapshot, NodeId prefer) const;
+
+  /// Drops entries of corrupted_/bad_replicas_ for a replica that no
+  /// longer exists. Caller holds the lock exclusively.
+  void ForgetReplicaLocked(uint64_t block_id, NodeId node);
+
   ClusterConfig config_;
   std::unique_ptr<BlockPlacementPolicy> placement_;
 
@@ -145,8 +219,17 @@ class MiniHdfs {
   /// construction (LoadImage excepted) and read without the lock.
   mutable std::shared_mutex mu_;
   std::map<std::string, FileMeta> files_;
-  std::map<uint64_t, std::string> block_data_;
+  /// Block contents, shared with reader snapshots so a Delete/LoadImage
+  /// cannot pull data out from under an in-flight read.
+  std::map<uint64_t, std::shared_ptr<const std::string>> block_data_;
   std::set<NodeId> dead_nodes_;
+  FaultConfig fault_config_;
+  /// Replicas with registered permanent corruption (bit-flip on serve).
+  std::set<ReplicaKey> corrupted_;
+  /// Replicas reported bad by clients. Mutable: marking is a client-side
+  /// health observation that must work through the const read path.
+  mutable std::set<ReplicaKey> bad_replicas_;
+  mutable uint64_t bad_replica_marks_ = 0;
   uint64_t next_block_id_ = 1;
 };
 
@@ -178,12 +261,21 @@ class FileWriter {
   bool closed_ = false;
 };
 
-/// Positioned reader with local/remote byte accounting. Each Read charges
-/// the context's IoStats per block according to whether context.node holds
-/// a replica of that block. Many FileReaders may read the same (sealed)
-/// file concurrently; one FileReader must not be shared across threads,
-/// because its IoStats sink is charged without synchronization — the
-/// engine gives every task its own reader and stats, merged at join.
+/// Positioned reader with local/remote byte accounting and per-replica
+/// checksummed reads. Each Read selects a replica per block (the reading
+/// node first, then ascending node id), verifies the block CRC the first
+/// time a (block, replica) pair serves this reader, and on an injected
+/// transient error or checksum mismatch fails over to the next live
+/// replica — charging the failover to IoStats and, for mismatches,
+/// reporting the bad replica to the namenode. A read returns DataLoss
+/// only when no live good replica remains.
+///
+/// The reader owns a snapshot of the file's block metadata and data taken
+/// at Open, so it remains valid across concurrent Delete/LoadImage. Many
+/// FileReaders may read the same (sealed) file concurrently; one
+/// FileReader must not be shared across threads, because its IoStats sink
+/// and verification cache are used without synchronization — the engine
+/// gives every task attempt its own reader and stats, merged at join.
 class FileReader {
  public:
   uint64_t size() const { return size_; }
@@ -198,13 +290,33 @@ class FileReader {
 
  private:
   friend class MiniHdfs;
-  FileReader(const MiniHdfs* fs, const MiniHdfs::FileMeta* meta,
-             ReadContext context);
+
+  /// Snapshot of one block: metadata plus shared ownership of its data.
+  struct BlockRef {
+    BlockInfo info;
+    std::shared_ptr<const std::string> data;
+  };
+
+  FileReader(const MiniHdfs* fs, std::string path,
+             std::vector<BlockRef> blocks, uint64_t size, ReadContext context,
+             FaultInjector faults);
+
+  /// Serves [from, to) of one block (offsets block-relative), appending to
+  /// *out, with replica selection, checksum verification, and failover.
+  Status ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
+                   std::string* out) const;
 
   const MiniHdfs* fs_;
-  const MiniHdfs::FileMeta* meta_;
+  std::string path_;
+  std::vector<BlockRef> blocks_;
   ReadContext context_;
   uint64_t size_;
+  FaultInjector faults_;
+  /// Running fault-draw counter: makes successive attempts draw fresh
+  /// outcomes while staying a pure function of this reader's history.
+  mutable uint64_t fault_draws_ = 0;
+  /// (block, node) pairs whose CRC this reader has already verified.
+  mutable std::set<std::pair<uint64_t, NodeId>> verified_;
 };
 
 }  // namespace colmr

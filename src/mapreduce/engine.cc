@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -99,6 +101,65 @@ struct ReduceTaskResult {
   double cpu_seconds = 0;
 };
 
+/// Per-job failure bookkeeping shared by concurrently retrying tasks: how
+/// many attempts failed on each node, and which nodes crossed the
+/// blacklist threshold (Hadoop's per-job tracker blacklist).
+class RetryTracker {
+ public:
+  explicit RetryTracker(int blacklist_threshold)
+      : threshold_(std::max(1, blacklist_threshold)) {}
+
+  void RecordFailure(NodeId node) {
+    if (node == kAnyNode) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++failures_[node] >= threshold_) blacklist_.insert(node);
+  }
+
+  bool IsBlacklisted(NodeId node) const {
+    if (node == kAnyNode) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return blacklist_.count(node) > 0;
+  }
+
+  std::vector<NodeId> blacklisted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<NodeId>(blacklist_.begin(), blacklist_.end());
+  }
+
+ private:
+  const int threshold_;
+  mutable std::mutex mu_;
+  std::map<NodeId, int> failures_;
+  std::set<NodeId> blacklist_;
+};
+
+/// Node for a retry attempt: an untried live, unblacklisted replica
+/// holder when one exists (the retry keeps its locality), else the
+/// lowest-id untried live, unblacklisted node, else any live
+/// unblacklisted node (attempts may outnumber nodes), else `fallback`.
+NodeId PickRetryNode(const MiniHdfs& fs, const InputSplit& split,
+                     const std::set<NodeId>& tried, const RetryTracker& retry,
+                     NodeId fallback) {
+  const int num_nodes = fs.config().num_nodes;
+  for (NodeId node : split.locations) {
+    if (node < 0 || node >= num_nodes) continue;
+    if (fs.IsNodeDead(node) || retry.IsBlacklisted(node)) continue;
+    if (tried.count(node) == 0) return node;
+  }
+  NodeId reusable = kAnyNode;
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    if (fs.IsNodeDead(node) || retry.IsBlacklisted(node)) continue;
+    if (tried.count(node) == 0) return node;
+    if (reusable == kAnyNode) reusable = node;
+  }
+  return reusable != kAnyNode ? reusable : fallback;
+}
+
+bool SplitIsLocalTo(const InputSplit& split, NodeId node) {
+  return std::find(split.locations.begin(), split.locations.end(), node) !=
+         split.locations.end();
+}
+
 }  // namespace
 
 /// Everything one map task hands back to the merge step. Each task owns
@@ -190,46 +251,96 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
   // ---- Map phase: execute every task, measuring per-thread CPU and
   // counting I/O into task-private sinks.
   SlotGate gate(fs_->config().num_nodes, fs_->config().map_slots_per_node);
+  RetryTracker retry(job.config.node_blacklist_failures);
   std::vector<MapTaskResult> results(splits.size());
 
-  auto execute_task = [&](size_t i) {
-    MapTaskResult& result = results[i];
-    TaskReport& task = result.task;
-    task.split_index = static_cast<int>(i);
-    task.node = assigned_node[i];
-    task.data_local = assigned_local[i] != 0;
+  // One execution of one map task on one node. Everything the attempt
+  // produces lands in attempt-private state, so a failed attempt can be
+  // discarded wholesale and retried.
+  auto run_attempt = [&](size_t i, int attempt, NodeId node, bool data_local,
+                         TaskReport* task,
+                         std::vector<std::pair<Value, Value>>* pairs) {
+    task->split_index = static_cast<int>(i);
+    task->node = node;
+    task->data_local = data_local;
 
-    gate.Acquire(task.node);
-    ReadContext context{task.node, &task.io};
+    gate.Acquire(node);
+    // The salt keys this attempt's deterministic fault schedule: a retry
+    // of the same split draws fresh outcomes, whatever thread runs it.
+    ReadContext context{node, &task->io,
+                        static_cast<uint64_t>(i) * 131 +
+                            static_cast<uint64_t>(attempt)};
     std::unique_ptr<RecordReader> reader;
-    result.status = job.input_format->CreateRecordReader(
+    Status status = job.input_format->CreateRecordReader(
         fs_, job.config, splits[i], context, &reader);
-    if (result.status.ok()) {
+    if (status.ok()) {
       VectorEmitter emitter;
       ThreadCpuStopwatch watch;
       while (reader->Next()) {
         job.mapper(reader->record(), &emitter);
-        ++task.input_records;
+        ++task->input_records;
       }
       // Map-side combine: sort this task's output, fold runs of equal keys
       // through the combiner, and ship the (usually much smaller) result.
       if (job.combiner && !emitter.pairs().empty()) {
-        auto& pairs = emitter.pairs();
-        std::stable_sort(pairs.begin(), pairs.end(),
+        auto& all = emitter.pairs();
+        std::stable_sort(all.begin(), all.end(),
                          [](const auto& a, const auto& b) {
                            return a.first.Compare(b.first) < 0;
                          });
         VectorEmitter combined;
-        FoldSortedRuns(&pairs, job.combiner, &combined);
-        pairs = std::move(combined.pairs());
+        FoldSortedRuns(&all, job.combiner, &combined);
+        all = std::move(combined.pairs());
       }
-      task.cpu_seconds = watch.ElapsedSeconds();
-      result.status = reader->status();
-      task.output_records = emitter.pairs().size();
-      task.sim_seconds = cost_model_.TaskSeconds({task.cpu_seconds, task.io});
-      result.pairs = std::move(emitter.pairs());
+      task->cpu_seconds = watch.ElapsedSeconds();
+      status = reader->status();
+      task->output_records = emitter.pairs().size();
+      *pairs = std::move(emitter.pairs());
     }
-    gate.Release(task.node);
+    gate.Release(node);
+    return status;
+  };
+
+  auto execute_task = [&](size_t i) {
+    MapTaskResult& result = results[i];
+    const int max_attempts = std::max(1, job.config.max_task_attempts);
+    std::set<NodeId> tried;
+    NodeId node = assigned_node[i];
+    bool data_local = assigned_local[i] != 0;
+    IoStats failed_io;
+    double failed_cpu = 0;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      // Move off the scheduled node when it has been blacklisted since
+      // scheduling, and always onto a fresh node for a retry.
+      if (retry.IsBlacklisted(node) || tried.count(node) > 0) {
+        node = PickRetryNode(*fs_, splits[i], tried, retry, node);
+        data_local = SplitIsLocalTo(splits[i], node);
+      }
+      tried.insert(node);
+
+      TaskReport task;
+      std::vector<std::pair<Value, Value>> pairs;
+      result.status = run_attempt(i, attempt, node, data_local, &task, &pairs);
+
+      // DataLoss is terminal: no replica anywhere can serve the bytes, so
+      // burning the remaining attempts (or blaming the node) is wrong.
+      if (result.status.ok() || result.status.IsDataLoss() ||
+          attempt + 1 >= max_attempts) {
+        task.attempts = attempt + 1;
+        // The task's cost includes what its failed attempts consumed.
+        task.cpu_seconds += failed_cpu;
+        task.io.Add(failed_io);
+        task.sim_seconds =
+            cost_model_.TaskSeconds({task.cpu_seconds, task.io});
+        result.task = std::move(task);
+        result.pairs = std::move(pairs);
+        return;
+      }
+      retry.RecordFailure(node);
+      failed_cpu += task.cpu_seconds;
+      failed_io.Add(task.io);
+    }
   };
 
   std::unique_ptr<ThreadPool> pool;
@@ -242,10 +353,23 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
   } else {
     for (size_t i = 0; i < splits.size(); ++i) {
       execute_task(i);
-      // Fail fast like the original serial loop.
-      if (!results[i].status.ok()) return results[i].status;
+      // Fail fast like the original serial loop (after the task's own
+      // retries are exhausted); the merge below reports the failure.
+      if (!results[i].status.ok()) break;
     }
   }
+
+  // ---- Failure/recovery accounting: filled before the merge loop so a
+  // failed job still reports what its recovery machinery did.
+  for (const MapTaskResult& result : results) {
+    if (result.task.attempts > 0) {
+      report->task_retries += static_cast<uint64_t>(result.task.attempts - 1);
+    }
+    report->checksum_failures += result.task.io.checksum_failures;
+    report->failover_reads += result.task.io.failover_reads;
+  }
+  report->blacklisted_nodes = retry.blacklisted();
+  report->peak_node_slots = gate.peaks();
 
   // ---- Join: merge per-task results into the report in split order, so
   // map output (and everything derived from it) is byte-identical to the
@@ -276,7 +400,6 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
     }
     report->map_tasks.push_back(std::move(task));
   }
-  report->peak_node_slots = gate.peaks();
   report->map_phase_seconds = cost_model_.MapPhaseSeconds(task_times);
   double task_time_sum = 0;
   for (double t : task_times) task_time_sum += t;

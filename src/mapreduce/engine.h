@@ -25,14 +25,28 @@ namespace colmr {
 /// before any task runs, and task/partition results are merged back in
 /// that same order, so job output and all non-timing report fields are
 /// byte-identical whatever JobConfig::parallelism is (1 = the original
-/// serial engine, preserved for paper-figure runs).
+/// serial engine, preserved for paper-figure runs). Under fault injection
+/// the retry path may attribute I/O to different nodes across thread
+/// counts, but the job *output* stays byte-identical: every map attempt
+/// that completes read checksum-verified bytes.
+///
+/// Failure handling: a map attempt that fails with a retryable error is
+/// re-executed, preferring a node not yet tried (replica holders first),
+/// up to JobConfig::max_task_attempts. Nodes accumulating
+/// node_blacklist_failures failed attempts are blacklisted for the rest
+/// of the job. DataLoss is terminal — no node can serve the bytes.
+/// Reducers run on in-memory map output (the shuffle is simulated), so
+/// only map attempts can fail; the job fails with the lowest-index task
+/// that exhausted its attempts.
 class JobRunner {
  public:
   explicit JobRunner(MiniHdfs* fs) : fs_(fs), cost_model_(fs->config()) {}
 
-  /// Executes the job; fills *report. Fails on the first task error in
+  /// Executes the job; fills *report. Fails on the first exhausted task in
   /// split order (the serial path stops there; the parallel path finishes
-  /// in-flight tasks, then reports the lowest-index failure).
+  /// in-flight tasks, then reports the lowest-index failure). The failure
+  /// and recovery counters (task_retries, checksum_failures,
+  /// failover_reads, blacklisted_nodes) are filled even when Run fails.
   Status Run(const Job& job, JobReport* report);
 
  private:

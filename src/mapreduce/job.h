@@ -48,6 +48,16 @@ struct JobConfig {
   /// settings: scheduling is decided in split order before dispatch and
   /// results are merged back in split/partition order.
   int parallelism = 0;
+
+  /// Maximum executions of one map task before the job fails
+  /// (mapreduce.map.maxattempts; Hadoop's default is likewise 4). Each
+  /// retry runs on a different node when one is available.
+  int max_task_attempts = 4;
+
+  /// Failed attempts on a node before the job stops scheduling to it
+  /// (the per-job tracker blacklist,
+  /// mapreduce.job.maxtaskfailures.per.tracker).
+  int node_blacklist_failures = 3;
 };
 
 /// Receives the key/value pairs produced by map and reduce functions.
@@ -88,6 +98,9 @@ struct TaskReport {
   double cpu_seconds = 0;
   IoStats io;
   double sim_seconds = 0;    // per the cost model
+  /// Executions this task took (1 = no retries). node/data_local describe
+  /// the final attempt; io folds in the traffic of failed attempts too.
+  int attempts = 1;
 };
 
 /// What Run() returns: everything Table 1 reports, plus detail.
@@ -125,6 +138,17 @@ struct JobReport {
 
   int data_local_tasks = 0;
   int remote_tasks = 0;
+
+  // ---- Failure and recovery (filled even when the job fails) ----
+  /// Map task re-executions: sum over tasks of (attempts - 1).
+  uint64_t task_retries = 0;
+  /// Replica reads rejected by the block checksum, summed over attempts.
+  uint64_t checksum_failures = 0;
+  /// Replica read attempts that failed over to another replica.
+  uint64_t failover_reads = 0;
+  /// Nodes the job blacklisted (>= config.node_blacklist_failures failed
+  /// attempts), ascending.
+  std::vector<NodeId> blacklisted_nodes;
 
   /// Collected reduce output (key, value) pairs, when the job has a
   /// reducer; also written to config.output_path as text part files.

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 #include "cif/cif.h"
 #include "cif/cof.h"
@@ -126,6 +128,243 @@ TEST(NodeFailureTest, SchedulerAvoidsDeadNodes) {
   for (const TaskReport& task : report.map_tasks) {
     EXPECT_NE(task.node, 0);
     EXPECT_NE(task.node, 1);
+  }
+}
+
+// Status-count scan over /logs — the job used by the fault-recovery
+// tests below. Returns the reduce output serialized to one string, so
+// runs can be compared byte for byte.
+Job StatusCountJob(int parallelism) {
+  Job job;
+  job.config.input_paths = {"/logs"};
+  job.config.projection = {"status"};
+  job.config.parallelism = parallelism;
+  job.input_format = std::make_shared<ColumnInputFormat>();
+  job.mapper = [](Record& record, Emitter* out) {
+    out->Emit(record.GetOrDie("status"), Value::Int64(1));
+  };
+  job.reducer = [](const Value& key, const std::vector<Value>& values,
+                   Emitter* out) {
+    int64_t total = 0;
+    for (const Value& v : values) total += v.int64_value();
+    out->Emit(key, Value::Int64(total));
+  };
+  return job;
+}
+
+std::string SerializeOutput(const JobReport& report) {
+  std::string out;
+  for (const auto& [key, value] : report.output) {
+    out += key.ToString() + "\t" + value.ToString() + "\n";
+  }
+  return out;
+}
+
+TEST(TaskRetryTest, CorruptedCifReplicaScanIsByteIdentical) {
+  // Fault-free baseline on an identically-built filesystem.
+  std::string baseline;
+  {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(21));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(1), &report).ok());
+    baseline = SerializeOutput(report);
+    ASSERT_FALSE(baseline.empty());
+  }
+
+  for (int parallelism : {1, 4}) {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(21));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    // Corrupt one replica of a column file the projection reads — the
+    // replica that will actually serve, which (scheduling being
+    // deterministic) a fault-free dry run reveals: the task's own node
+    // when it holds one, else the lowest-id replica.
+    std::vector<std::string> files;
+    ASSERT_TRUE(ExpandInputPaths(fs.get(), {"/logs"}, &files).ok());
+    std::string victim;
+    for (const std::string& file : files) {
+      if (file.size() >= 11 &&
+          file.compare(file.size() - 11, 11, "/status.col") == 0) {
+        victim = file;
+        break;
+      }
+    }
+    ASSERT_FALSE(victim.empty());
+
+    Job probe = StatusCountJob(1);
+    std::vector<InputSplit> splits;
+    ASSERT_TRUE(
+        probe.input_format->GetSplits(fs.get(), probe.config, &splits).ok());
+    size_t victim_split = splits.size();
+    for (size_t i = 0; i < splits.size(); ++i) {
+      for (const std::string& path : splits[i].paths) {
+        if (path == victim) victim_split = i;
+      }
+    }
+    ASSERT_LT(victim_split, splits.size());
+    JobReport dry;
+    ASSERT_TRUE(JobRunner(fs.get()).Run(probe, &dry).ok());
+    const NodeId task_node = dry.map_tasks[victim_split].node;
+    std::vector<BlockInfo> blocks;
+    ASSERT_TRUE(fs->GetBlockLocations(victim, &blocks).ok());
+    std::vector<NodeId> replicas = blocks[0].replicas;
+    std::sort(replicas.begin(), replicas.end());
+    const NodeId serving =
+        std::find(replicas.begin(), replicas.end(), task_node) !=
+                replicas.end()
+            ? task_node
+            : replicas[0];
+    size_t ordinal = 0;
+    while (blocks[0].replicas[ordinal] != serving) ++ordinal;
+    NodeId corrupted = kAnyNode;
+    ASSERT_TRUE(fs->CorruptReplica(victim, 0, ordinal, &corrupted).ok());
+    ASSERT_EQ(corrupted, serving);
+
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(parallelism), &report).ok());
+    // The checksum caught the corrupt replica, the read failed over, and
+    // the output is byte-identical to the fault-free run.
+    EXPECT_GE(report.checksum_failures, 1u) << "parallelism " << parallelism;
+    EXPECT_GE(report.failover_reads, 1u);
+    EXPECT_EQ(SerializeOutput(report), baseline);
+    EXPECT_EQ(fs->bad_replica_marks(), 1u);
+    // Recovery: re-replication repairs the reported replica.
+    ASSERT_TRUE(fs->ReReplicate().ok());
+    EXPECT_EQ(fs->UnderReplicatedBlockCount(), 0u);
+  }
+}
+
+TEST(TaskRetryTest, BrokenNodeIsRetriedAwayFromAndBlacklisted) {
+  // Fault-free baseline.
+  std::string baseline;
+  {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(22));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(1), &report).ok());
+    baseline = SerializeOutput(report);
+  }
+
+  for (int parallelism : {1, 4}) {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(22));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+
+    // Find a node some split is scheduled on and break it: every read a
+    // task issues there fails, so its first attempt dies and the retry
+    // lands elsewhere — Hadoop's bad-tracker scenario.
+    ColumnInputFormat format;
+    JobConfig config;
+    config.input_paths = {"/logs"};
+    std::vector<InputSplit> splits;
+    ASSERT_TRUE(format.GetSplits(fs.get(), config, &splits).ok());
+    ASSERT_FALSE(splits.empty());
+    const NodeId broken = splits[0].locations[0];
+    FaultConfig faults;
+    faults.broken_nodes = {broken};
+    fs->SetFaultConfig(faults);
+
+    Job job = StatusCountJob(parallelism);
+    job.config.node_blacklist_failures = 1;  // first failure blacklists
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(job, &report).ok());
+
+    EXPECT_GE(report.task_retries, 1u);
+    ASSERT_EQ(report.blacklisted_nodes.size(), 1u);
+    EXPECT_EQ(report.blacklisted_nodes[0], broken);
+    // No completed attempt ran on the broken node.
+    for (const TaskReport& task : report.map_tasks) {
+      EXPECT_NE(task.node, broken);
+    }
+    EXPECT_EQ(SerializeOutput(report), baseline);
+  }
+}
+
+TEST(TaskRetryTest, TransientFaultScanCompletesByteIdentical) {
+  std::string baseline;
+  {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(23));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(1), &report).ok());
+    baseline = SerializeOutput(report);
+  }
+
+  for (int parallelism : {1, 4}) {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(23));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    // The projected status column is narrow (the point of CIF), so the
+    // scan issues few replica reads; p is raised so the deterministic
+    // schedule contains failovers despite the small draw count.
+    FaultConfig faults;
+    faults.seed = 5;
+    faults.read_error_p = 0.2;
+    fs->SetFaultConfig(faults);
+
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(parallelism), &report).ok());
+    // Failovers happened (some replica attempts drew errors), yet the
+    // output matches the fault-free run byte for byte.
+    EXPECT_GE(report.failover_reads, 1u);
+    EXPECT_EQ(SerializeOutput(report), baseline);
+  }
+}
+
+TEST(TaskRetryTest, MidJobNodeKillDoesNotChangeOutput) {
+  std::string baseline;
+  {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(24));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(StatusCountJob(1), &report).ok());
+    baseline = SerializeOutput(report);
+  }
+
+  for (int parallelism : {1, 4}) {
+    auto fs = std::make_unique<MiniHdfs>(
+        TestCluster(), std::make_unique<ColumnPlacementPolicy>(24));
+    WriteCifDataset(fs.get(), "/logs", 2000);
+
+    ColumnInputFormat format;
+    JobConfig config;
+    config.input_paths = {"/logs"};
+    std::vector<InputSplit> splits;
+    ASSERT_TRUE(format.GetSplits(fs.get(), config, &splits).ok());
+    const NodeId victim = splits.back().locations[0];
+
+    // Kill a replica-holding node from inside the first map invocation:
+    // after scheduling, while tasks are executing. In-flight readers keep
+    // serving their snapshots; later block reads fail over to surviving
+    // replicas. Output must not change.
+    Job job = StatusCountJob(parallelism);
+    auto once = std::make_shared<std::once_flag>();
+    MiniHdfs* raw_fs = fs.get();
+    MapFn inner = job.mapper;
+    job.mapper = [once, raw_fs, victim, inner](Record& record, Emitter* out) {
+      std::call_once(*once, [&] { ASSERT_TRUE(raw_fs->KillNode(victim).ok()); });
+      inner(record, out);
+    };
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(job, &report).ok());
+    EXPECT_EQ(SerializeOutput(report), baseline);
+    EXPECT_TRUE(fs->IsNodeDead(victim));
+    EXPECT_GT(fs->UnderReplicatedBlockCount(), 0u);
+    ASSERT_TRUE(fs->ReReplicate().ok());
+    EXPECT_EQ(fs->UnderReplicatedBlockCount(), 0u);
   }
 }
 

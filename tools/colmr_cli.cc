@@ -13,6 +13,11 @@
 //                      cif | cif-sl | cif-dcsl
 //   colmr kill  <image> <node>                  fail a datanode
 //   colmr rerep <image>                         re-replicate lost replicas
+//   colmr corrupt <image> <file> <block> <replica>
+//                                               flip a bit in one replica
+//   colmr scan  <image> <dataset> [p]           run a scan job; with p > 0,
+//                                               inject transient read
+//                                               errors with probability p
 //
 // Example session:
 //   colmr init /tmp/fs.img 8
@@ -35,6 +40,7 @@
 #include "formats/seq/seq_file.h"
 #include "formats/text/text_format.h"
 #include "hdfs/mini_hdfs.h"
+#include "mapreduce/engine.h"
 #include "mapreduce/job.h"
 #include "workload/crawl.h"
 #include "workload/synthetic.h"
@@ -51,7 +57,7 @@ int Fail(const Status& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: colmr <init|gen|ls|stat|schema|head|convert|kill|"
-               "rerep> <image> [args...]\n(see the header of "
+               "rerep|corrupt|scan> <image> [args...]\n(see the header of "
                "tools/colmr_cli.cc for details)\n");
   return 2;
 }
@@ -156,13 +162,13 @@ int CmdStat(const std::string& image) {
   if (!s.ok()) return Fail(s);
   std::printf("nodes: %d (%zu dead)\nreplication: %d\nblock size: %llu\n"
               "stored bytes (pre-replication): %llu\nunder-replicated "
-              "blocks: %llu\n",
+              "blocks: %llu\nlost blocks: %llu\n",
               fs->config().num_nodes, fs->dead_nodes().size(),
               fs->config().replication,
               static_cast<unsigned long long>(fs->config().block_size),
               static_cast<unsigned long long>(fs->TotalStoredBytes()),
-              static_cast<unsigned long long>(
-                  fs->UnderReplicatedBlockCount()));
+              static_cast<unsigned long long>(fs->UnderReplicatedBlockCount()),
+              static_cast<unsigned long long>(fs->LostBlockCount()));
   return 0;
 }
 
@@ -341,6 +347,70 @@ int CmdRerep(const std::string& image) {
   return 0;
 }
 
+int CmdCorrupt(const std::string& image, int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  NodeId node = kAnyNode;
+  s = fs->CorruptReplica(argv[0], std::strtoull(argv[1], nullptr, 10),
+                         std::strtoull(argv[2], nullptr, 10), &node);
+  if (!s.ok()) return Fail(s);
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  std::printf("corrupted block %s of %s on node %d\n", argv[1], argv[0],
+              node);
+  return 0;
+}
+
+int CmdScan(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string path = argv[0];
+  const double p = argc > 1 ? std::atof(argv[1]) : 0;
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+  if (p > 0) {
+    FaultConfig faults;
+    faults.read_error_p = p;
+    fs->SetFaultConfig(faults);
+  }
+
+  Job job;
+  job.config.input_paths = {path};
+  s = DetectInputFormat(fs.get(), path, &job.input_format, nullptr);
+  if (!s.ok()) return Fail(s);
+  job.mapper = [](Record&, Emitter*) {};
+
+  JobRunner runner(fs.get());
+  JobReport report;
+  s = runner.Run(job, &report);
+  std::printf("records: %llu\nbytes read: %llu local, %llu remote\n"
+              "map tasks: %zu (%d data-local)\nmap time (sim): %.2fs\n"
+              "task retries: %llu\nchecksum failures: %llu\n"
+              "failover reads: %llu\nblacklisted nodes:",
+              static_cast<unsigned long long>(report.map_input_records),
+              static_cast<unsigned long long>(report.bytes_read_local),
+              static_cast<unsigned long long>(report.bytes_read_remote),
+              report.map_tasks.size(), report.data_local_tasks,
+              report.map_phase_seconds,
+              static_cast<unsigned long long>(report.task_retries),
+              static_cast<unsigned long long>(report.checksum_failures),
+              static_cast<unsigned long long>(report.failover_reads));
+  if (report.blacklisted_nodes.empty()) {
+    std::printf(" none\n");
+  } else {
+    for (NodeId node : report.blacklisted_nodes) std::printf(" %d", node);
+    std::printf("\n");
+  }
+  if (!s.ok()) return Fail(s);
+  // Persist replica-health marks the scan reported, so a following
+  // `colmr stat` / `colmr rerep` sees and repairs them.
+  s = fs->SaveImage(image);
+  if (!s.ok()) return Fail(s);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
@@ -356,6 +426,8 @@ int Run(int argc, char** argv) {
   if (command == "convert") return CmdConvert(image, argc, argv);
   if (command == "kill") return CmdKill(image, argc, argv);
   if (command == "rerep") return CmdRerep(image);
+  if (command == "corrupt") return CmdCorrupt(image, argc, argv);
+  if (command == "scan") return CmdScan(image, argc, argv);
   return Usage();
 }
 
