@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "common/buffer.h"
 #include "common/random.h"
 #include "compress/codec.h"
@@ -18,7 +20,7 @@ namespace colmr {
 namespace {
 
 std::string MakePayload(int kind, size_t size) {
-  Random rng(kind * 101 + 7);
+  Random rng(bench::kDatasetSeed + kind * 101 + 7);
   std::string data;
   data.reserve(size);
   if (kind == 0) {  // page-like text
@@ -115,7 +117,44 @@ void BM_DictionaryLookup(benchmark::State& state) {
 
 BENCHMARK(BM_DictionaryLookup);
 
+// Forwards to the console output while mirroring every run into the
+// BENCH_codecs.json report (google-benchmark's own JSON reporter can't
+// append our config/metrics sections).
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(bench::Report* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      bench::Report::Row& row = report_->AddRow();
+      row.Set("name", run.benchmark_name())
+          .Set("label", run.report_label)
+          .Set("iterations", static_cast<uint64_t>(run.iterations))
+          .Set("real_seconds", run.real_accumulated_time)
+          .Set("cpu_seconds", run.cpu_accumulated_time);
+      for (const auto& [name, counter] : run.counters) {
+        row.Set(name, static_cast<double>(counter));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Report* report_;
+};
+
 }  // namespace
 }  // namespace colmr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  colmr::bench::Report report("codecs");
+  report.Config("payload_bytes", static_cast<uint64_t>(256 * 1024));
+  colmr::ReportingConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.Write();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "mapreduce/engine.h"
@@ -52,15 +53,9 @@ Result RunWithPolicy(bool use_cpp, uint64_t records) {
   std::unique_ptr<CofWriter> cof;
   Die(CofWriter::Open(fs.get(), "/data", CrawlSchema(), options, &cof),
       "cof");
-  CrawlGeneratorOptions gen_options;
-  gen_options.min_content_bytes = 50;
-  gen_options.max_content_bytes = 150;
-  gen_options.metadata_value_words = 5;
-  CrawlGenerator gen(99, gen_options);
-  for (uint64_t i = 0; i < records; ++i) {
-    Die(cof->WriteRecord(gen.Next()), "write");
-  }
-  Die(cof->Close(), "close");
+  CrawlGenerator gen =
+      bench::MakeCrawlGenerator(bench::CrawlProfile::kLightContent);
+  bench::FillWriters(gen, records, {cof.get()});
 
   Job job;
   job.config.input_paths = {"/data"};
@@ -98,8 +93,28 @@ int main() {
   std::fprintf(stderr, "colocation: %llu crawl records x2 policies...\n",
                static_cast<unsigned long long>(records));
 
+  bench::Report report("colocation");
+  report.Config("records", records);
+  report.Config("workload", "crawl/light-content");
+
   Result with_cpp = RunWithPolicy(true, records);
   Result without = RunWithPolicy(false, records);
+
+  for (const auto& [label, r] :
+       {std::pair<const char*, const Result&>{"cpp", with_cpp},
+        std::pair<const char*, const Result&>{"default", without}}) {
+    report.AddRow()
+        .Set("placement", label)
+        .Set("map_seconds", r.map_seconds)
+        .Set("local_bytes", r.local_bytes)
+        .Set("remote_bytes", r.remote_bytes)
+        .Set("local_tasks", r.local_tasks)
+        .Set("remote_tasks", r.remote_tasks);
+  }
+  report.AddRow()
+      .Set("placement", "speedup")
+      .Set("map_time_speedup", without.map_seconds / with_cpp.map_seconds);
+  report.Write();
 
   std::printf("=== Section 6.4: impact of co-location (CIF job) ===\n");
   std::printf("%-22s %10s %12s %12s %8s %8s\n", "Placement", "Map(s)",

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "mapreduce/engine.h"
@@ -57,16 +58,9 @@ std::unique_ptr<MiniHdfs> BuildDataset(uint64_t records,
   std::unique_ptr<CofWriter> writer;
   Die(CofWriter::Open(fs.get(), "/data", CrawlSchema(), options, &writer),
       "cof");
-  CrawlGeneratorOptions gen_options;
-  gen_options.min_content_bytes = 1000;
-  gen_options.max_content_bytes = 3000;
-  gen_options.metadata_entries = 12;
-  gen_options.metadata_value_words = 5;
-  CrawlGenerator gen(kSeed, gen_options);
-  for (uint64_t i = 0; i < records; ++i) {
-    Die(writer->WriteRecord(gen.Next()), "write");
-  }
-  Die(writer->Close(), "close");
+  CrawlGenerator gen =
+      bench::MakeCrawlGenerator(bench::CrawlProfile::kCompactContent);
+  bench::FillWriters(gen, records, {writer.get()});
   return fs;
 }
 
@@ -162,6 +156,11 @@ int main() {
       {"p=0.05+corrupt", 0.05, true, 4 * 1024},
   };
 
+  bench::Report bench_report("fault_recovery");
+  bench_report.Config("records", records);
+  bench_report.Config("workload", "crawl/compact-content");
+  bench_report.Config("fault_seed", fault_seed);
+
   std::printf("=== Fault injection: Table 1 scan workload ===\n");
   std::printf("(%llu crawl records, fault seed %llu)\n\n",
               static_cast<unsigned long long>(records),
@@ -204,7 +203,20 @@ int main() {
                 static_cast<unsigned long long>(report.checksum_failures),
                 static_cast<unsigned long long>(fs->bad_replica_marks()),
                 output == baseline ? "yes" : "NO");
+    bench_report.AddRow()
+        .Set("faults", row.label)
+        .Set("read_error_p", row.p)
+        .Set("corrupt_replica", row.corrupt)
+        .Set("io_buffer_bytes", row.io_buffer)
+        .Set("tasks", static_cast<uint64_t>(report.map_tasks.size()))
+        .Set("wall_seconds", wall)
+        .Set("task_retries", report.task_retries)
+        .Set("failover_reads", report.failover_reads)
+        .Set("checksum_failures", report.checksum_failures)
+        .Set("bad_replica_marks", fs->bad_replica_marks())
+        .Set("output_matches_baseline", output == baseline);
   }
+  bench_report.Write();
   std::printf(
       "\nevery row completes with byte-identical output: completed reads\n"
       "are checksum-verified, so injected faults cost failovers and\n"

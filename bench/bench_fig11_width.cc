@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "formats/rcfile/rcfile_format.h"
@@ -50,6 +51,8 @@ double Bandwidth(MiniHdfs* fs, InputFormat* format, const std::string& path,
 
 int main() {
   using namespace colmr;
+  bench::Report report("fig11_width");
+  report.Config("workload", "wide");
   std::printf("=== Figure 11: effect of record width (read MB/s) ===\n");
   std::printf("%8s %14s %10s %10s %10s\n", "Columns", "Scan", "SEQ", "CIF",
               "RCFile16M");
@@ -74,16 +77,8 @@ int main() {
     std::unique_ptr<CofWriter> cof;
     Die(CofWriter::Open(fs.get(), "/cif", schema, cof_options, &cof), "cof");
 
-    WideGenerator gen(1234, num_columns);
-    for (uint64_t i = 0; i < records; ++i) {
-      const Value record = gen.Next();
-      Die(seq->WriteRecord(record), "seq write");
-      Die(rc->WriteRecord(record), "rc write");
-      Die(cof->WriteRecord(record), "cof write");
-    }
-    Die(seq->Close(), "seq close");
-    Die(rc->Close(), "rc close");
-    Die(cof->Close(), "cof close");
+    WideGenerator gen = bench::MakeWideGenerator(num_columns);
+    bench::FillWriters(gen, records, {seq.get(), rc.get(), cof.get()});
     const uint64_t raw_bytes = bench::DatasetBytes(fs.get(), "/seq");
 
     SeqInputFormat seq_format;
@@ -112,8 +107,15 @@ int main() {
           Bandwidth(fs.get(), &rc_format, "/rc", projection, raw_bytes);
       std::printf("%8d %14s %10.0f %10.0f %10.0f\n", num_columns,
                   label.c_str(), seq_bw, cif_bw, rc_bw);
+      report.AddRow()
+          .Set("columns", num_columns)
+          .Set("scan", label)
+          .Set("seq_mb_per_s", seq_bw)
+          .Set("cif_mb_per_s", cif_bw)
+          .Set("rcfile_mb_per_s", rc_bw);
     }
   }
+  report.Write();
   std::printf(
       "\npaper shape: CIF >> RCFile on narrow projections; RCFile's "
       "1-column bandwidth\ndecays with width while CIF stays flat; SEQ "

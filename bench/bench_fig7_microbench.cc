@@ -12,6 +12,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "formats/rcfile/rcfile_format.h"
@@ -48,20 +49,9 @@ void WriteAll(MiniHdfs* fs, uint64_t records) {
   std::unique_ptr<CofWriter> cof;
   Die(CofWriter::Open(fs, "/cif", schema, cof_options, &cof), "cof open");
 
-  MicrobenchGenerator gen(2024);
-  for (uint64_t i = 0; i < records; ++i) {
-    const Value record = gen.Next();
-    Die(txt->WriteRecord(record), "txt write");
-    Die(seq->WriteRecord(record), "seq write");
-    Die(rc->WriteRecord(record), "rc write");
-    Die(rcc->WriteRecord(record), "rcc write");
-    Die(cof->WriteRecord(record), "cof write");
-  }
-  Die(txt->Close(), "txt close");
-  Die(seq->Close(), "seq close");
-  Die(rc->Close(), "rc close");
-  Die(rcc->Close(), "rcc close");
-  Die(cof->Close(), "cof close");
+  MicrobenchGenerator gen = bench::MakeMicrobenchGenerator();
+  bench::FillWriters(gen, records,
+                     {txt.get(), seq.get(), rc.get(), rcc.get(), cof.get()});
 }
 
 struct Cell {
@@ -138,6 +128,14 @@ int main() {
       {"Uncompressed RCFile", &rc, "/rc", true},
   };
 
+  bench::Report report("fig7_microbench");
+  report.Config("records", records);
+  report.Config("workload", "microbench");
+  for (const char* path : {"/txt", "/seq", "/cif", "/rc", "/rcc"}) {
+    report.Config(std::string("bytes") + path,
+                  bench::DatasetBytes(fs.get(), path));
+  }
+
   std::printf("=== Figure 7: microbenchmark scan times (seconds) ===\n");
   std::printf("dataset sizes: txt=%sMB seq=%sMB cif=%sMB rc=%sMB rcc=%sMB\n",
               bench::Mb(bench::DatasetBytes(fs.get(), "/txt")).c_str(),
@@ -161,9 +159,15 @@ int main() {
           colmr::RunScan(fs.get(), row.format, row.path, projection);
       std::printf(" %9.2fs(%4sMB)", cell.seconds,
                   bench::Mb(cell.bytes).c_str());
+      report.AddRow()
+          .Set("format", row.name)
+          .Set("projection", label)
+          .Set("seconds", cell.seconds)
+          .Set("bytes_read", cell.bytes);
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf(
       "\npaper shape: SEQ ~3x faster than TXT; CIF 2.5x-95x faster than SEQ "
       "on projections;\nCIF ~38x faster than uncompressed RCFile on 1 "

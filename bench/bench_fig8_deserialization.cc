@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "common/coding.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -57,8 +58,8 @@ struct Dataset {
 
 Dataset Generate(Typed typed, double fraction, uint64_t records) {
   Dataset data;
-  Random rng(records * 31 + static_cast<int>(typed) * 7 +
-             static_cast<int>(fraction * 100));
+  Random rng(bench::kDatasetSeed + records * 31 +
+             static_cast<int>(typed) * 7 + static_cast<int>(fraction * 100));
   const size_t typed_bytes = static_cast<size_t>(kRecordBytes * fraction);
   data.typed_bytes_per_record = typed_bytes;
   data.buffer.reserve(records * kRecordBytes);
@@ -223,6 +224,10 @@ int main() {
   for (int f = 0; f <= 100; f += 20) std::printf(" %7d%%", f);
   std::printf("\n");
 
+  bench::Report report("fig8_deserialization");
+  report.Config("records", records);
+  report.Config("record_bytes", static_cast<uint64_t>(kRecordBytes));
+
   uint64_t sink = 0;
   for (Typed typed : {Typed::kInt, Typed::kDouble, Typed::kMap}) {
     for (bool boxed : {false, true}) {
@@ -232,11 +237,18 @@ int main() {
         Stopwatch watch;
         sink += boxed ? ScanBoxed(data, typed) : ScanNative(data, typed);
         const double seconds = watch.ElapsedSeconds();
-        std::printf(" %8.0f", data.buffer.size() / 1e6 / seconds);
+        const double mb_per_s = data.buffer.size() / 1e6 / seconds;
+        std::printf(" %8.0f", mb_per_s);
+        report.AddRow()
+            .Set("type", TypedName(typed))
+            .Set("path", boxed ? "boxed" : "native")
+            .Set("typed_fraction", f / 100.0)
+            .Set("mb_per_s", mb_per_s);
       }
       std::printf("\n");
     }
   }
+  report.Write();
   std::printf(
       "\npaper shape: bandwidth falls with %% typed data; boxed (Java-style) "
       "paths fall\nfaster; boxed maps sink below SATA disk bandwidth "

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "mapreduce/engine.h"
@@ -27,7 +28,7 @@ namespace {
 using bench::Die;
 
 constexpr uint64_t kBaseRecords = 8000;
-constexpr uint64_t kSeed = 7011;
+constexpr uint64_t kSeed = bench::kDatasetSeed;
 
 }  // namespace
 }  // namespace colmr
@@ -47,16 +48,9 @@ int main() {
   std::unique_ptr<CofWriter> writer;
   Die(CofWriter::Open(fs.get(), "/data", schema, options, &writer), "cof");
 
-  CrawlGeneratorOptions gen_options;
-  gen_options.min_content_bytes = 1000;
-  gen_options.max_content_bytes = 3000;
-  gen_options.metadata_entries = 12;
-  gen_options.metadata_value_words = 5;
-  CrawlGenerator gen(kSeed, gen_options);
-  for (uint64_t i = 0; i < records; ++i) {
-    Die(writer->WriteRecord(gen.Next()), "write");
-  }
-  Die(writer->Close(), "close");
+  CrawlGenerator gen =
+      bench::MakeCrawlGenerator(bench::CrawlProfile::kCompactContent);
+  bench::FillWriters(gen, records, {writer.get()});
   std::fprintf(stderr, "scaling: %llu crawl records, %s MB on HDFS\n",
                static_cast<unsigned long long>(records),
                bench::Mb(fs->TotalStoredBytes()).c_str());
@@ -78,6 +72,11 @@ int main() {
   job.reducer = [](const Value& key, const std::vector<Value>&, Emitter* out) {
     out->Emit(key, Value::Null());
   };
+
+  bench::Report bench_report("parallel_scaling");
+  bench_report.Config("records", records);
+  bench_report.Config("workload", "crawl/compact-content");
+  bench_report.Config("stored_bytes", fs->TotalStoredBytes());
 
   std::printf("=== Parallel engine scaling: Table 1 scan workload ===\n");
   std::printf("%-10s %8s %10s %10s %12s\n", "threads", "tasks", "wall(s)",
@@ -112,7 +111,14 @@ int main() {
     std::printf("%-10d %8zu %10.3f %9.2fx %12s\n", report.worker_threads,
                 report.map_tasks.size(), wall, serial_wall / wall,
                 identical ? "yes" : "NO");
+    bench_report.AddRow()
+        .Set("threads", report.worker_threads)
+        .Set("tasks", static_cast<uint64_t>(report.map_tasks.size()))
+        .Set("wall_seconds", wall)
+        .Set("speedup", serial_wall / wall)
+        .Set("output_matches_serial", identical);
   }
+  bench_report.Write();
   std::printf(
       "\nspeedup ceiling = min(threads, cores, slots); simulated map/total\n"
       "times are thread-count-invariant (see DESIGN.md execution model).\n");

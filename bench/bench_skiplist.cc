@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/column_reader.h"
 #include "cif/column_writer.h"
 #include "common/stopwatch.h"
@@ -70,23 +71,26 @@ int main() {
 
   std::fprintf(stderr, "skiplist ablation: %llu rows x %zu layouts...\n",
                static_cast<unsigned long long>(rows), layouts.size());
-  CrawlGeneratorOptions gen_options;
-  // Heavy map values (~1.2 KB/row) so 1000-row skips jump ~1 MB: big
-  // enough that a seek beats reading through, as in the paper's datasets.
-  gen_options.metadata_entries = 16;
-  gen_options.metadata_value_words = 12;
   for (const auto& [name, options] : layouts) {
     std::unique_ptr<ColumnFileWriter> writer;
     Die(ColumnFileWriter::Create(fs.get(), "/" + name, type, options,
                                  &writer),
         "create");
-    CrawlGenerator gen(4040, gen_options);
+    // Wide-map profile: heavy map values (~1.2 KB/row) so 1000-row skips
+    // jump ~1 MB — big enough that a seek beats reading through, as in
+    // the paper's datasets.
+    CrawlGenerator gen =
+        bench::MakeCrawlGenerator(bench::CrawlProfile::kWideMap);
     for (uint64_t i = 0; i < rows; ++i) {
       // Reuse the crawl metadata map as the column value.
       Die(writer->Append(gen.Next().elements()[4]), "append");
     }
     Die(writer->Close(), "close");
   }
+
+  bench::Report report("skiplist");
+  report.Config("rows", rows);
+  report.Config("workload", "crawl/wide-map");
 
   std::printf("=== Skip-list ablation: read 1-in-N rows of a map column ===\n");
   std::printf("%-14s", "Layout");
@@ -99,9 +103,15 @@ int main() {
     for (uint64_t stride : strides) {
       Result r = Sweep(fs.get(), "/" + name, rows, stride);
       std::printf(" %6.3fs(%4sMB)", r.seconds, bench::Mb(r.bytes).c_str());
+      report.AddRow()
+          .Set("layout", name)
+          .Set("stride", stride)
+          .Set("seconds", r.seconds)
+          .Set("bytes_read", r.bytes);
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf(
       "\nexpected: plain pays full decode cost at every stride; skiplist "
       "and dcsl fetch\nless as the stride grows; compressed blocks help "

@@ -17,6 +17,7 @@
 #include <set>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cif.h"
 #include "cif/cof.h"
 #include "compress/codec.h"
@@ -31,7 +32,7 @@ namespace {
 using bench::Die;
 
 constexpr uint64_t kBaseRecords = 30000;  // ~100 MB (paper: 6.4 TB)
-constexpr uint64_t kSeed = 7011;
+constexpr uint64_t kSeed = bench::kDatasetSeed;
 
 enum class LayoutKind { kSeq, kRcFile, kCif };
 
@@ -91,16 +92,12 @@ RowResult RunLayout(const LayoutSpec& spec, uint64_t records) {
     writer = std::move(cof);
   }
 
-  CrawlGeneratorOptions gen_options;
-  // The paper's content column holds "several KB of data for each record"
-  // and dominates the row — what makes every SEQ variant slow. Metadata
-  // carries full HTTP-response headers, so eagerly deserializing it for
-  // non-matching records costs real CPU (the CIF-SL/DCSL savings).
-  gen_options.min_content_bytes = 6000;
-  gen_options.max_content_bytes = 12000;
-  gen_options.metadata_entries = 12;
-  gen_options.metadata_value_words = 5;
-  CrawlGenerator gen(kSeed, gen_options);
+  // Heavy-content profile: the paper's content column holds "several KB
+  // of data for each record" and dominates the row — what makes every SEQ
+  // variant slow, while the HTTP-header-style metadata maps cost real CPU
+  // to deserialize eagerly (the CIF-SL/DCSL savings).
+  CrawlGenerator gen =
+      bench::MakeCrawlGenerator(bench::CrawlProfile::kHeavyContent);
   const Codec* lzf = GetCodec(CodecType::kLzf);
   for (uint64_t i = 0; i < records; ++i) {
     Value record = gen.Next();
@@ -165,6 +162,10 @@ int main() {
   const uint64_t records = bench::ScaledCount(kBaseRecords);
   std::fprintf(stderr, "table1: %llu crawl records per layout...\n",
                static_cast<unsigned long long>(records));
+  bench::Report report("table1_formats");
+  report.Config("records", records);
+  report.Config("seed", kSeed);
+  report.Config("workload", "crawl/heavy-content");
 
   ColumnOptions plain;
   ColumnOptions zlib_blocks{ColumnLayout::kCompressedBlocks,
@@ -224,7 +225,15 @@ int main() {
                 bench::Mb(row.bytes_read).c_str(), row.map_seconds,
                 base_map / row.map_seconds, row.total_seconds,
                 base_total / row.total_seconds);
+    report.AddRow()
+        .Set("layout", name)
+        .Set("bytes_read", row.bytes_read)
+        .Set("map_seconds", row.map_seconds)
+        .Set("map_ratio", base_map / row.map_seconds)
+        .Set("total_seconds", row.total_seconds)
+        .Set("total_ratio", base_total / row.total_seconds);
   }
+  report.Write();
   std::printf(
       "\npaper shape: SEQ variants slowest; RCFile-comp ~3.7x map-time over "
       "SEQ-custom;\nCIF ~61x; CIF-SL ~82x; CIF-DCSL best ~108x map / ~12.8x "

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/datasets.h"
 #include "cif/cof.h"
 #include "cif/loader.h"
 #include "common/stopwatch.h"
@@ -38,12 +39,14 @@ int main() {
     std::unique_ptr<SeqWriter> seq;
     Die(SeqWriter::Open(fs.get(), "/seq", schema, SeqWriterOptions{}, &seq),
         "seq");
-    MicrobenchGenerator gen(55);
-    for (uint64_t i = 0; i < records; ++i) {
-      Die(seq->WriteRecord(gen.Next()), "write");
-    }
-    Die(seq->Close(), "close");
+    MicrobenchGenerator gen = bench::MakeMicrobenchGenerator();
+    bench::FillWriters(gen, records, {seq.get()});
   }
+
+  bench::Report report("table2_load");
+  report.Config("records", records);
+  report.Config("workload", "microbench");
+  report.Config("source_bytes", bench::DatasetBytes(fs.get(), "/seq"));
 
   std::printf("=== Table 2: load times, SEQ -> target format ===\n");
   std::printf("%-10s %10s %12s\n", "Layout", "Time(s)", "Output(MB)");
@@ -96,9 +99,16 @@ int main() {
     Stopwatch watch;
     Die(CopyDataset(fs.get(), &seq_format, {"/seq"}, writer.get()), "copy");
     Die(writer->Close(), "close");
-    std::printf("%-10s %10.2f %12s\n", target.name, watch.ElapsedSeconds(),
-                bench::Mb(bench::DatasetBytes(fs.get(), path)).c_str());
+    const double seconds = watch.ElapsedSeconds();
+    const uint64_t output_bytes = bench::DatasetBytes(fs.get(), path);
+    std::printf("%-10s %10.2f %12s\n", target.name, seconds,
+                bench::Mb(output_bytes).c_str());
+    report.AddRow()
+        .Set("layout", target.name)
+        .Set("seconds", seconds)
+        .Set("output_bytes", output_bytes);
   }
+  report.Write();
   std::printf(
       "\npaper shape: CIF, CIF-SL and RCFile loads cost about the same "
       "(89/93/89 min);\nthe skip-list double-buffering overhead is minor.\n");

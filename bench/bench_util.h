@@ -1,11 +1,14 @@
 #ifndef COLMR_BENCH_BENCH_UTIL_H_
 #define COLMR_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -13,6 +16,8 @@
 #include "hdfs/mini_hdfs.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace colmr {
 namespace bench {
@@ -116,6 +121,164 @@ inline std::string Mb(uint64_t bytes) {
   std::snprintf(buf, sizeof(buf), "%.1f", bytes / 1e6);
   return buf;
 }
+
+/// Machine-readable bench output (DESIGN.md §8). Every bench binary
+/// builds one Report alongside its human-readable table and Write()s it
+/// as `BENCH_<name>.json` into ${COLMR_BENCH_OUT:-.}. The document
+/// carries the bench config, one row per printed table line, the wall
+/// time, and the process-wide metrics delta accumulated over the
+/// Report's lifetime — so a run's raw numbers can be diffed, plotted, or
+/// gated in CI without scraping stdout.
+///
+/// Document shape:
+///   { "bench": "<name>", "schema_version": 1, "scale": <float>,
+///     "config": {...}, "rows": [{...}, ...], "wall_seconds": <float>,
+///     "metrics": {"counters": {...}, "gauges": {...},
+///                 "histograms": {...}} }
+class Report {
+ public:
+  explicit Report(std::string name)
+      : name_(std::move(name)),
+        start_metrics_(MetricsRegistry::Default().Snapshot()) {}
+
+  /// One flat object of run parameters (record counts, seeds, sizes).
+  void Config(std::string key, std::string_view v) {
+    config_.emplace_back(std::move(key), Render(v));
+  }
+  void Config(std::string key, const char* v) {
+    Config(std::move(key), std::string_view(v));
+  }
+  void Config(std::string key, uint64_t v) {
+    config_.emplace_back(std::move(key), std::to_string(v));
+  }
+  void Config(std::string key, int v) {
+    config_.emplace_back(std::move(key), std::to_string(v));
+  }
+  void Config(std::string key, double v) {
+    config_.emplace_back(std::move(key), Render(v));
+  }
+  void Config(std::string key, bool v) {
+    config_.emplace_back(std::move(key), v ? "true" : "false");
+  }
+
+  /// One table line. Values are rendered at Set() time; Set returns the
+  /// row so cells chain.
+  class Row {
+   public:
+    Row& Set(std::string key, std::string_view v) {
+      fields_.emplace_back(std::move(key), Render(v));
+      return *this;
+    }
+    Row& Set(std::string key, const char* v) {
+      return Set(std::move(key), std::string_view(v));
+    }
+    Row& Set(std::string key, uint64_t v) {
+      fields_.emplace_back(std::move(key), std::to_string(v));
+      return *this;
+    }
+    Row& Set(std::string key, int v) {
+      fields_.emplace_back(std::move(key), std::to_string(v));
+      return *this;
+    }
+    Row& Set(std::string key, double v) {
+      fields_.emplace_back(std::move(key), Render(v));
+      return *this;
+    }
+    Row& Set(std::string key, bool v) {
+      fields_.emplace_back(std::move(key), v ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class Report;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  // deque: callers hold Row& across later AddRow() calls.
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  std::string ToJson() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", name_);
+    w.Field("schema_version", uint64_t{1});
+    w.Field("scale", Scale());
+    w.BeginObject("config");
+    for (const auto& [key, value] : config_) w.FieldRaw(key, value);
+    w.EndObject();
+    w.BeginArray("rows");
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const auto& [key, value] : row.fields_) w.FieldRaw(key, value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Field("wall_seconds", watch_.ElapsedSeconds());
+    w.BeginObject("metrics");
+    MetricsRegistry::Default()
+        .Snapshot()
+        .Diff(start_metrics_)
+        .NonZero()
+        .WriteJson(&w);
+    w.EndObject();
+    w.EndObject();
+    return w.Take();
+  }
+
+  /// Writes BENCH_<name>.json into ${COLMR_BENCH_OUT:-.} after
+  /// re-validating the rendered document. Returns the path written, or
+  /// "" on failure (diagnostic on stderr) — benches report but do not
+  /// abort, so a read-only CWD cannot fail a perf run.
+  std::string Write() const {
+    const std::string document = ToJson();
+    std::string error;
+    if (!ValidateJson(document, &error)) {
+      std::fprintf(stderr, "BENCH_%s.json: invalid JSON produced: %s\n",
+                   name_.c_str(), error.c_str());
+      return "";
+    }
+    const char* dir = std::getenv("COLMR_BENCH_OUT");
+    std::string path = (dir == nullptr || dir[0] == '\0') ? "." : dir;
+    path += "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BENCH_%s.json: cannot open %s\n", name_.c_str(),
+                   path.c_str());
+      return "";
+    }
+    const size_t written = std::fwrite(document.data(), 1, document.size(), f);
+    const bool ok = written == document.size() && std::fclose(f) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "BENCH_%s.json: short write to %s\n", name_.c_str(),
+                   path.c_str());
+      return "";
+    }
+    std::fprintf(stderr, "bench report: %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  static std::string Render(std::string_view v) {
+    std::string out;
+    out.reserve(v.size() + 2);
+    out.push_back('"');
+    out += JsonWriter::Escape(v);
+    out.push_back('"');
+    return out;
+  }
+  static std::string Render(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  Stopwatch watch_;
+  std::string name_;
+  MetricsSnapshot start_metrics_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace colmr

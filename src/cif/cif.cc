@@ -6,6 +6,7 @@
 #include "cif/lazy_record.h"
 #include "formats/text/text_format.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
 
 namespace colmr {
 
@@ -71,12 +72,15 @@ class CifRecordReader final : public RecordReader {
  public:
   CifRecordReader(Schema::Ptr schema, std::vector<int> projection,
                   std::vector<std::unique_ptr<ColumnFileReader>> columns,
-                  bool lazy, std::vector<std::string> missing_columns)
+                  bool lazy, std::vector<std::string> missing_columns,
+                  MetricsRegistry* metrics)
       : schema_(schema),
         projection_(std::move(projection)),
         columns_(std::move(columns)),
         lazy_(lazy),
         eager_record_(schema_, Value::Null()) {
+    m_records_ = metrics->counter(lazy ? "cif.records.lazy"
+                                       : "cif.records.eager");
     row_count_ = columns_.empty() ? 0 : columns_.front()->row_count();
     for (const auto& column : columns_) {
       if (column->row_count() != row_count_) {
@@ -88,8 +92,9 @@ class CifRecordReader final : public RecordReader {
     for (size_t p = 0; p < projection_.size(); ++p) {
       by_field[projection_[p]] = columns_[p].get();
     }
-    lazy_record_ =
-        std::make_unique<LazyRecord>(schema_, std::move(by_field));
+    lazy_record_ = std::make_unique<LazyRecord>(
+        schema_, std::move(by_field),
+        metrics->counter("cif.lazy.field_reads"));
     if (!missing_columns.empty()) {
       eager_padded_ = std::make_unique<NullPaddingRecord>(&eager_record_,
                                                           missing_columns);
@@ -102,6 +107,7 @@ class CifRecordReader final : public RecordReader {
     if (!status_.ok()) return false;
     if (row_ + 1 >= static_cast<int64_t>(row_count_)) return false;
     ++row_;
+    m_records_->Increment();
     if (lazy_) {
       lazy_record_->AdvanceTo(static_cast<uint64_t>(row_));
       return true;
@@ -135,6 +141,7 @@ class CifRecordReader final : public RecordReader {
   uint64_t row_count_ = 0;
   int64_t row_ = -1;
   EagerRecord eager_record_;
+  Counter* m_records_ = nullptr;
   std::unique_ptr<LazyRecord> lazy_record_;
   std::unique_ptr<NullPaddingRecord> eager_padded_;
   std::unique_ptr<NullPaddingRecord> lazy_padded_;
@@ -144,6 +151,7 @@ class CifRecordReader final : public RecordReader {
 }  // namespace
 
 Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                    const ReadContext& context,
                                     std::vector<InputSplit>* splits) {
   splits->clear();
   for (const std::string& base : config.input_paths) {
@@ -153,7 +161,7 @@ Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
       if (child.empty() || child[0] != 's') continue;
       const std::string dir = base + "/" + child;
       Schema::Ptr schema;
-      COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+      COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
       std::vector<int> projection;
       COLMR_RETURN_IF_ERROR(ResolveProjection(
           *schema, config.projection, config.null_for_missing_columns,
@@ -187,7 +195,7 @@ Status ColumnInputFormat::CreateRecordReader(
   const std::string& first = split.paths.front();
   const std::string dir = first.substr(0, first.rfind('/'));
   Schema::Ptr schema;
-  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
   std::vector<int> projection;
   std::vector<std::string> missing;
   COLMR_RETURN_IF_ERROR(ResolveProjection(*schema, config.projection,
@@ -207,9 +215,12 @@ Status ColumnInputFormat::CreateRecordReader(
         fs, dir + "/" + schema->fields()[c].name + ".col", context, &column));
     columns.push_back(std::move(column));
   }
+  MetricsRegistry* metrics = context.metrics != nullptr
+                                 ? context.metrics
+                                 : &MetricsRegistry::Default();
   reader->reset(new CifRecordReader(std::move(schema), std::move(projection),
                                     std::move(columns), config.lazy_records,
-                                    std::move(missing)));
+                                    std::move(missing), metrics));
   return Status::OK();
 }
 

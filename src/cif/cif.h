@@ -24,7 +24,9 @@ struct JobConfig;
 class ColumnInputFormat final : public InputFormat {
  public:
   std::string name() const override { return "cif"; }
+  using InputFormat::GetSplits;
   Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   const ReadContext& context,
                    std::vector<InputSplit>* splits) override;
   Status CreateRecordReader(MiniHdfs* fs, const JobConfig& config,
                             const InputSplit& split,

@@ -5,6 +5,7 @@
 
 #include "cif/column_format.h"
 #include "common/coding.h"
+#include "obs/metrics.h"
 #include "serde/encoding.h"
 
 namespace colmr {
@@ -55,6 +56,19 @@ Status ColumnFileReader::Open(MiniHdfs* fs, const std::string& path,
   std::unique_ptr<ColumnFileReader> result(new ColumnFileReader());
   result->input_ = std::make_unique<BufferedReader>(
       std::move(raw), fs->config().io_buffer_size);
+  MetricsRegistry& metrics = context.metrics != nullptr
+                                 ? *context.metrics
+                                 : MetricsRegistry::Default();
+  result->m_values_read_ = metrics.counter("cif.scan.values_read");
+  result->m_values_skipped_ = metrics.counter("cif.scan.values_skipped");
+  result->m_rows_skipped_ = metrics.counter("cif.scan.rows_skipped");
+  result->m_rowgroups_skipped_ = metrics.counter("cif.scan.rowgroups_skipped");
+  result->m_skipped_bytes_ = metrics.counter("cif.scan.skipped_bytes");
+  result->m_blocks_skipped_ = metrics.counter("cif.scan.blocks_skipped");
+  result->m_blocks_decompressed_ =
+      metrics.counter("cif.scan.blocks_decompressed");
+  result->m_decompressed_bytes_ =
+      metrics.counter("cif.scan.decompressed_bytes");
   COLMR_RETURN_IF_ERROR(result->ParseHeader());
   *reader = std::move(result);
   return Status::OK();
@@ -138,6 +152,8 @@ Status ColumnFileReader::LoadBlock() {
   block_cursor_ = block_.AsSlice();
   block_rows_left_ = n_records;
   block_loaded_ = true;
+  m_blocks_decompressed_->Increment();
+  m_decompressed_bytes_->Increment(block_cursor_.size());
   return Status::OK();
 }
 
@@ -209,11 +225,13 @@ Status ColumnFileReader::ReadValue(Value* out) {
   }
   ++current_row_;
   if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
+  m_values_read_->Increment();
   return Status::OK();
 }
 
 Status ColumnFileReader::SkipRows(uint64_t n) {
   n = std::min(n, row_count_ - current_row_);
+  m_rows_skipped_->Increment(n);
   if (layout_ == ColumnLayout::kCompressedBlocks) {
     while (n > 0) {
       if (block_loaded_) {
@@ -222,6 +240,7 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
         for (uint64_t i = 0; i < take; ++i) {
           COLMR_RETURN_IF_ERROR(SkipValue(*type_, &block_cursor_));
         }
+        m_values_skipped_->Increment(take);
         block_rows_left_ -= take;
         if (block_rows_left_ == 0) block_loaded_ = false;
         current_row_ += take;
@@ -235,6 +254,8 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
       COLMR_RETURN_IF_ERROR(input_->ReadVarint64(&compressed_len));
       if (n >= n_records) {
         COLMR_RETURN_IF_ERROR(input_->Skip(compressed_len));
+        m_blocks_skipped_->Increment();
+        m_skipped_bytes_->Increment(compressed_len);
         current_row_ += n_records;
         n -= n_records;
       } else {
@@ -252,6 +273,8 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
         block_cursor_ = block_.AsSlice();
         block_rows_left_ = n_records;
         block_loaded_ = true;
+        m_blocks_decompressed_->Increment();
+        m_decompressed_bytes_->Increment(block_cursor_.size());
       }
     }
     return Status::OK();
@@ -266,6 +289,8 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
       if (n >= kCifSkip2 && current_row_ % kCifSkip2 == 0 &&
           current_row_ + kCifSkip2 <= row_count_) {
         COLMR_RETURN_IF_ERROR(input_->Skip(skip1000_));
+        m_rowgroups_skipped_->Increment(kCifSkip2 / kCifSkip0);
+        m_skipped_bytes_->Increment(skip1000_);
         current_row_ += kCifSkip2;
         n -= kCifSkip2;
         boundary_done_ = false;
@@ -274,6 +299,8 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
       if (n >= kCifSkip1 && current_row_ % kCifSkip1 == 0 &&
           current_row_ + kCifSkip1 <= row_count_) {
         COLMR_RETURN_IF_ERROR(input_->Skip(skip100_));
+        m_rowgroups_skipped_->Increment(kCifSkip1 / kCifSkip0);
+        m_skipped_bytes_->Increment(skip100_);
         current_row_ += kCifSkip1;
         n -= kCifSkip1;
         boundary_done_ = false;
@@ -281,6 +308,8 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
       }
       if (n >= kCifSkip0 && current_row_ + kCifSkip0 <= row_count_) {
         COLMR_RETURN_IF_ERROR(input_->Skip(skip10_));
+        m_rowgroups_skipped_->Increment(1);
+        m_skipped_bytes_->Increment(skip10_);
         current_row_ += kCifSkip0;
         n -= kCifSkip0;
         boundary_done_ = false;
@@ -294,6 +323,7 @@ Status ColumnFileReader::SkipRows(uint64_t n) {
       COLMR_RETURN_IF_ERROR(ConsumeBoundary());
     }
     COLMR_RETURN_IF_ERROR(SkipOneValue());
+    m_values_skipped_->Increment();
     ++current_row_;
     if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
     --n;

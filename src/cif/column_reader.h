@@ -78,6 +78,18 @@ class ColumnFileReader {
   Buffer block_;
   Slice block_cursor_;
   uint64_t block_rows_left_ = 0;
+
+  // Metric handles resolved once at Open from the ReadContext registry
+  // (cif.scan.* — the Figure 10 "row groups skipped / bytes not read"
+  // counters live here).
+  Counter* m_values_read_ = nullptr;
+  Counter* m_values_skipped_ = nullptr;
+  Counter* m_rows_skipped_ = nullptr;
+  Counter* m_rowgroups_skipped_ = nullptr;
+  Counter* m_skipped_bytes_ = nullptr;
+  Counter* m_blocks_skipped_ = nullptr;
+  Counter* m_blocks_decompressed_ = nullptr;
+  Counter* m_decompressed_bytes_ = nullptr;
 };
 
 }  // namespace colmr

@@ -1,10 +1,13 @@
 #include "cif/lazy_record.h"
 
+#include "obs/metrics.h"
+
 namespace colmr {
 
 LazyRecord::LazyRecord(Schema::Ptr schema,
-                       std::vector<ColumnFileReader*> columns)
-    : schema_(std::move(schema)) {
+                       std::vector<ColumnFileReader*> columns,
+                       Counter* field_reads)
+    : schema_(std::move(schema)), field_reads_(field_reads) {
   columns_.resize(columns.size());
   for (size_t i = 0; i < columns.size(); ++i) {
     columns_[i].reader = columns[i];
@@ -30,6 +33,7 @@ Status LazyRecord::Get(std::string_view name, const Value** value) {
     COLMR_RETURN_IF_ERROR(column.reader->SkipRows(cur_pos_ - last_pos));
     COLMR_RETURN_IF_ERROR(column.reader->ReadValue(&column.cached));
     column.cached_row = cur_pos_;
+    if (field_reads_ != nullptr) field_reads_->Increment();
   }
   *value = &column.cached;
   return Status::OK();

@@ -19,8 +19,11 @@ class LazyRecord final : public Record {
  public:
   /// Column readers are owned by the caller (the CIF RecordReader) and
   /// must outlive the LazyRecord; index i corresponds to schema field i,
-  /// nullptr for fields outside the projection.
-  LazyRecord(Schema::Ptr schema, std::vector<ColumnFileReader*> columns);
+  /// nullptr for fields outside the projection. field_reads, when given,
+  /// counts Get() calls that materialize a column value
+  /// (cif.lazy.field_reads).
+  LazyRecord(Schema::Ptr schema, std::vector<ColumnFileReader*> columns,
+             Counter* field_reads = nullptr);
 
   const Schema& schema() const override { return *schema_; }
   Status Get(std::string_view name, const Value** value) override;
@@ -39,6 +42,7 @@ class LazyRecord final : public Record {
   Schema::Ptr schema_;
   std::vector<ColumnState> columns_;
   uint64_t cur_pos_ = 0;
+  Counter* field_reads_ = nullptr;
 };
 
 }  // namespace colmr

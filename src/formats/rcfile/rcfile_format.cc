@@ -30,7 +30,9 @@ class RcFileRecordReader final : public RecordReader {
 }  // namespace
 
 Status RcFileInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                    const ReadContext& /*context*/,
                                     std::vector<InputSplit>* splits) {
+  // Planning only touches namenode metadata; no data blocks are read.
   return ComputeFileSplits(fs, config.input_paths, config.split_size, splits);
 }
 
@@ -40,7 +42,7 @@ Status RcFileInputFormat::CreateRecordReader(
   const std::string& file = split.paths.at(0);
   const std::string dir = file.substr(0, file.rfind('/'));
   Schema::Ptr schema;
-  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
 
   std::vector<int> projection;
   for (const std::string& name : config.projection) {

@@ -15,7 +15,9 @@ namespace colmr {
 class RcFileInputFormat final : public InputFormat {
  public:
   std::string name() const override { return "rcfile"; }
+  using InputFormat::GetSplits;
   Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   const ReadContext& context,
                    std::vector<InputSplit>* splits) override;
   Status CreateRecordReader(MiniHdfs* fs, const JobConfig& config,
                             const InputSplit& split,

@@ -29,7 +29,9 @@ class SeqRecordReader final : public RecordReader {
 }  // namespace
 
 Status SeqInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                 const ReadContext& /*context*/,
                                  std::vector<InputSplit>* splits) {
+  // Planning only touches namenode metadata; no data blocks are read.
   return ComputeFileSplits(fs, config.input_paths, config.split_size, splits);
 }
 

@@ -14,7 +14,9 @@ namespace colmr {
 class SeqInputFormat final : public InputFormat {
  public:
   std::string name() const override { return "seq"; }
+  using InputFormat::GetSplits;
   Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   const ReadContext& context,
                    std::vector<InputSplit>* splits) override;
   Status CreateRecordReader(MiniHdfs* fs, const JobConfig& config,
                             const InputSplit& split,

@@ -236,10 +236,10 @@ Status WriteDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,
 }
 
 Status ReadDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,
-                         Schema::Ptr* schema) {
+                         Schema::Ptr* schema, const ReadContext& context) {
   std::unique_ptr<FileReader> reader;
   COLMR_RETURN_IF_ERROR(
-      fs->Open(dataset_dir + "/_schema", ReadContext{}, &reader));
+      fs->Open(dataset_dir + "/_schema", context, &reader));
   std::string text;
   COLMR_RETURN_IF_ERROR(reader->Read(0, reader->size(), &text));
   return Schema::Parse(text, schema);
@@ -335,7 +335,9 @@ class TextRecordReader final : public RecordReader {
 }  // namespace
 
 Status TextInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
+                                  const ReadContext& /*context*/,
                                   std::vector<InputSplit>* splits) {
+  // Planning only touches namenode metadata; no data blocks are read.
   return ComputeFileSplits(fs, config.input_paths, config.split_size, splits);
 }
 
@@ -347,7 +349,7 @@ Status TextInputFormat::CreateRecordReader(
   const std::string& file = split.paths.at(0);
   const std::string dir = file.substr(0, file.rfind('/'));
   Schema::Ptr schema;
-  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema));
+  COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
   std::unique_ptr<FileReader> raw;
   COLMR_RETURN_IF_ERROR(fs->Open(file, context, &raw));
   auto buffered = std::make_unique<BufferedReader>(

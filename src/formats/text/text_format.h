@@ -50,7 +50,9 @@ class TextWriter final : public DatasetWriter {
 class TextInputFormat final : public InputFormat {
  public:
   std::string name() const override { return "txt"; }
+  using InputFormat::GetSplits;
   Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   const ReadContext& context,
                    std::vector<InputSplit>* splits) override;
   Status CreateRecordReader(MiniHdfs* fs, const JobConfig& config,
                             const InputSplit& split,
@@ -58,9 +60,11 @@ class TextInputFormat final : public InputFormat {
                             std::unique_ptr<RecordReader>* reader) override;
 };
 
-/// Reads the `_schema` file of a dataset directory.
+/// Reads the `_schema` file of a dataset directory, accounting the I/O to
+/// `context` (metrics/trace/locality of the task or planner reading it).
 Status ReadDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,
-                         Schema::Ptr* schema);
+                         Schema::Ptr* schema,
+                         const ReadContext& context = {});
 
 /// Writes `<dataset_dir>/_schema`.
 Status WriteDatasetSchema(MiniHdfs* fs, const std::string& dataset_dir,

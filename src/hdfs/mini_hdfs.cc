@@ -10,6 +10,8 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace colmr {
 
@@ -552,7 +554,20 @@ FileReader::FileReader(const MiniHdfs* fs, std::string path,
       blocks_(std::move(blocks)),
       context_(context),
       size_(size),
-      faults_(std::move(faults)) {}
+      faults_(std::move(faults)) {
+  MetricsRegistry& metrics =
+      context_.metrics != nullptr ? *context_.metrics : MetricsRegistry::Default();
+  m_read_ops_ = metrics.counter("hdfs.read.ops");
+  m_local_bytes_ = metrics.counter("hdfs.read.local_bytes");
+  m_remote_bytes_ = metrics.counter("hdfs.read.remote_bytes");
+  m_failover_reads_ = metrics.counter("hdfs.read.failover");
+  m_checksum_failures_ = metrics.counter("hdfs.read.checksum_failures");
+  m_seeks_ = metrics.counter("hdfs.seek.count");
+  m_read_bytes_ = metrics.histogram("hdfs.read.bytes");
+  metrics.counter("hdfs.open.count")->Increment();
+}
+
+void FileReader::CountSeek() const { m_seeks_->Increment(); }
 
 namespace {
 
@@ -591,6 +606,8 @@ Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
         context_.stats->failover_reads += 1;
         context_.stats->seeks += 1;
       }
+      m_failover_reads_->Increment();
+      m_seeks_->Increment();
       continue;
     }
     // Verify the block checksum the first time this replica serves this
@@ -602,19 +619,23 @@ Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
           context_.stats->failover_reads += 1;
           context_.stats->seeks += 1;
         }
+        m_checksum_failures_->Increment();
+        m_failover_reads_->Increment();
+        m_seeks_->Increment();
         fs_->MarkReplicaBad(block.info.id, candidate.node);
         continue;
       }
       verified_.insert({block.info.id, candidate.node});
     }
     out->append(*block.data, from, to - from);
+    // Local-first candidate order means the local replica serves
+    // whenever it is live and good, so fault-free accounting matches
+    // the pre-failover definition ("local iff the reading node holds a
+    // replica") byte for byte.
+    const bool is_local =
+        context_.node == kAnyNode || candidate.node == context_.node;
+    (is_local ? m_local_bytes_ : m_remote_bytes_)->Increment(to - from);
     if (context_.stats != nullptr) {
-      // Local-first candidate order means the local replica serves
-      // whenever it is live and good, so fault-free accounting matches
-      // the pre-failover definition ("local iff the reading node holds a
-      // replica") byte for byte.
-      const bool is_local =
-          context_.node == kAnyNode || candidate.node == context_.node;
       if (is_local) {
         context_.stats->local_bytes += to - from;
       } else {
@@ -643,6 +664,14 @@ Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
 
   if (context_.stats != nullptr) {
     context_.stats->reads += 1;
+  }
+  m_read_ops_->Increment();
+  m_read_bytes_->Observe(n);
+  ScopedSpan span(context_.trace, "hdfs.read", "hdfs");
+  if (span.active()) {
+    span.AddArg("path", path_);
+    span.AddArg("offset", offset);
+    span.AddArg("bytes", static_cast<uint64_t>(n));
   }
 
   uint64_t block_start = 0;

@@ -32,14 +32,26 @@ struct BlockInfo {
   std::vector<NodeId> replicas;
 };
 
+class Counter;
+class Histogram;
+class MetricsRegistry;
+class TraceCollector;
+
 /// Where a read is executing, for locality accounting. node == kAnyNode
 /// means "no placement": every byte counts as local. fault_salt
 /// identifies the task attempt issuing reads, so a re-executed task draws
 /// a fresh (but still deterministic) fault schedule.
+///
+/// metrics/trace are optional observability sinks (DESIGN.md §8): a null
+/// metrics falls back to MetricsRegistry::Default(); a null trace
+/// disables span emission. New fields are appended so existing aggregate
+/// initializations keep their meaning.
 struct ReadContext {
   NodeId node = kAnyNode;
   IoStats* stats = nullptr;  // optional sink; may be null
   uint64_t fault_salt = 0;
+  MetricsRegistry* metrics = nullptr;  // null -> MetricsRegistry::Default()
+  TraceCollector* trace = nullptr;     // null -> tracing off
 };
 
 /// In-process HDFS: a namenode namespace of append-only files split into
@@ -284,6 +296,14 @@ class FileReader {
   /// charge seeks.
   IoStats* stats() const { return context_.stats; }
 
+  /// Charges one positioned seek to the hdfs.seek.count metric.
+  /// BufferedReader calls this alongside stats()->seeks.
+  void CountSeek() const;
+
+  /// The trace collector this reader emits hdfs.read spans to (null when
+  /// tracing is off). Downstream layers (CIF) reuse it for their spans.
+  TraceCollector* trace() const { return context_.trace; }
+
   /// Reads up to n bytes at offset into *out (replacing its contents).
   /// Short reads happen only at end-of-file.
   Status Read(uint64_t offset, size_t n, std::string* out) const;
@@ -317,6 +337,17 @@ class FileReader {
   mutable uint64_t fault_draws_ = 0;
   /// (block, node) pairs whose CRC this reader has already verified.
   mutable std::set<std::pair<uint64_t, NodeId>> verified_;
+
+  /// Metric handles resolved once at Open (registry lookups take a
+  /// mutex; increments are relaxed atomics — the hot-path contract of
+  /// DESIGN.md §8).
+  Counter* m_read_ops_;
+  Counter* m_local_bytes_;
+  Counter* m_remote_bytes_;
+  Counter* m_failover_reads_;
+  Counter* m_checksum_failures_;
+  Counter* m_seeks_;
+  Histogram* m_read_bytes_;
 };
 
 }  // namespace colmr

@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/metrics.h"
+
 namespace colmr {
+
+namespace {
+
+// Placement decisions always go to the process-wide registry: policies
+// are owned by the namenode, which predates any per-job context.
+Counter* PlacementCounter(const char* name) {
+  return MetricsRegistry::Default().counter(name);
+}
+
+}  // namespace
 
 std::vector<NodeId> DefaultPlacementPolicy::ChooseTargets(
     const std::string& /*path*/, int /*block_index*/, int num_nodes,
     int replication) {
+  static Counter* placed = PlacementCounter("hdfs.placement.default_blocks");
+  placed->Increment();
   const int r = std::min(replication, num_nodes);
   std::vector<NodeId> targets;
   targets.reserve(r);
@@ -78,6 +92,9 @@ NodeId ColumnPlacementPolicy::ChooseReplacement(
   if (split_dir.empty() || it == split_dir_targets_.end()) {
     return fallback_.ChooseReplacement(path, current, num_nodes, dead);
   }
+  static Counter* repairs =
+      PlacementCounter("hdfs.placement.colocated_repairs");
+  repairs->Increment();
   // Repair the directory's cached target set once: drop dead nodes, then
   // top it back up. Every under-replicated block of the directory is
   // steered to the same fresh nodes, so co-location survives the failure.
@@ -105,6 +122,9 @@ std::vector<NodeId> ColumnPlacementPolicy::ChooseTargets(
   if (split_dir.empty()) {
     return fallback_.ChooseTargets(path, block_index, num_nodes, replication);
   }
+  static Counter* colocated =
+      PlacementCounter("hdfs.placement.colocated_blocks");
+  colocated->Increment();
   auto it = split_dir_targets_.find(split_dir);
   if (it == split_dir_targets_.end()) {
     // First block of the split-directory: load-balance with the default

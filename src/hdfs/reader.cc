@@ -32,6 +32,7 @@ Status BufferedReader::Fill(size_t min_bytes) {
     // Initial positioning of the stream counts as one seek.
     ever_read_ = true;
     if (file_->stats() != nullptr) file_->stats()->seeks += 1;
+    file_->CountSeek();
   }
   buffer_.append(chunk);
   return Status::OK();
@@ -62,7 +63,10 @@ Status BufferedReader::Seek(uint64_t offset) {
   buffer_.clear();
   buffer_start_ = offset;
   position_ = offset;
-  if (ever_read_ && file_->stats() != nullptr) file_->stats()->seeks += 1;
+  if (ever_read_) {
+    if (file_->stats() != nullptr) file_->stats()->seeks += 1;
+    file_->CountSeek();
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,8 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/encoding.h"
 
 namespace colmr {
@@ -99,6 +101,7 @@ class SlotGate {
 struct ReduceTaskResult {
   std::vector<std::pair<Value, Value>> pairs;
   double cpu_seconds = 0;
+  uint64_t input_records = 0;
 };
 
 /// Per-job failure bookkeeping shared by concurrently retrying tasks: how
@@ -109,10 +112,15 @@ class RetryTracker {
   explicit RetryTracker(int blacklist_threshold)
       : threshold_(std::max(1, blacklist_threshold)) {}
 
-  void RecordFailure(NodeId node) {
-    if (node == kAnyNode) return;
+  /// Returns true when this failure crossed the blacklist threshold (the
+  /// node was just blacklisted).
+  bool RecordFailure(NodeId node) {
+    if (node == kAnyNode) return false;
     std::lock_guard<std::mutex> lock(mu_);
-    if (++failures_[node] >= threshold_) blacklist_.insert(node);
+    if (++failures_[node] >= threshold_) {
+      return blacklist_.insert(node).second;
+    }
+    return false;
   }
 
   bool IsBlacklisted(NodeId node) const {
@@ -205,6 +213,36 @@ NodeId JobRunner::ScheduleSplit(const InputSplit& split,
 }
 
 Status JobRunner::Run(const Job& job, JobReport* report) {
+  MetricsRegistry* metrics = job.config.metrics != nullptr
+                                 ? job.config.metrics
+                                 : &MetricsRegistry::Default();
+  // Trace lifecycle: use the caller's collector when given; otherwise own
+  // one for the duration of the run iff a trace_path asks for output.
+  std::unique_ptr<TraceCollector> owned_trace;
+  TraceCollector* trace = job.config.trace;
+  if (trace == nullptr && !job.config.trace_path.empty()) {
+    owned_trace = std::make_unique<TraceCollector>();
+    trace = owned_trace.get();
+  }
+
+  Status status;
+  {
+    // Scope the root span so it closes before the collector is flushed.
+    ScopedSpan job_span(trace, "job", "mr");
+    status = RunImpl(job, report, metrics, trace);
+    if (job_span.active() && !status.ok()) {
+      job_span.AddArg("error", status.message());
+    }
+  }
+  if (trace != nullptr && !job.config.trace_path.empty()) {
+    Status write_status = trace->WriteFile(job.config.trace_path);
+    if (status.ok()) status = write_status;
+  }
+  return status;
+}
+
+Status JobRunner::RunImpl(const Job& job, JobReport* report,
+                          MetricsRegistry* metrics, TraceCollector* trace) {
   Stopwatch wall;
   *report = JobReport();
   if (!job.input_format) {
@@ -213,9 +251,25 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
   if (!job.mapper) {
     return Status::InvalidArgument("job has no mapper");
   }
+  metrics->counter("mr.job.runs")->Increment();
+  Counter* m_tasks_launched = metrics->counter("mr.task.launched");
+  Counter* m_task_retries = metrics->counter("mr.task.retries");
+  Counter* m_nodes_blacklisted = metrics->counter("mr.node.blacklisted");
+  Gauge* m_slots_active = metrics->gauge("mr.slots.active");
+  Histogram* m_task_cpu_micros = metrics->histogram("mr.task.cpu_micros");
 
   std::vector<InputSplit> splits;
-  COLMR_RETURN_IF_ERROR(job.input_format->GetSplits(fs_, job.config, &splits));
+  {
+    ScopedSpan plan_span(trace, "plan.splits", "mr");
+    ReadContext plan_context;
+    plan_context.metrics = metrics;
+    plan_context.trace = trace;
+    COLMR_RETURN_IF_ERROR(
+        job.input_format->GetSplits(fs_, job.config, plan_context, &splits));
+    if (plan_span.active()) {
+      plan_span.AddArg("splits", static_cast<uint64_t>(splits.size()));
+    }
+  }
   if (splits.empty()) {
     return Status::InvalidArgument("input produced no splits");
   }
@@ -264,12 +318,28 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
     task->node = node;
     task->data_local = data_local;
 
-    gate.Acquire(node);
+    {
+      ScopedSpan wait_span(trace, "slot_wait", "mr");
+      gate.Acquire(node);
+      if (wait_span.active()) wait_span.AddArg("node", node);
+    }
+    m_slots_active->Add(1);
+    m_tasks_launched->Increment();
+    // The map_task span lives on the executing thread, so the hdfs.read
+    // spans its record reader emits nest inside it on the same track.
+    ScopedSpan task_span(trace, "map_task", "mr");
+    if (task_span.active()) {
+      task_span.AddArg("split", static_cast<uint64_t>(i));
+      task_span.AddArg("node", node);
+      task_span.AddArg("attempt", attempt);
+      task_span.AddArg("data_local", data_local);
+    }
     // The salt keys this attempt's deterministic fault schedule: a retry
     // of the same split draws fresh outcomes, whatever thread runs it.
     ReadContext context{node, &task->io,
                         static_cast<uint64_t>(i) * 131 +
-                            static_cast<uint64_t>(attempt)};
+                            static_cast<uint64_t>(attempt),
+                        metrics, trace};
     std::unique_ptr<RecordReader> reader;
     Status status = job.input_format->CreateRecordReader(
         fs_, job.config, splits[i], context, &reader);
@@ -296,7 +366,15 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
       status = reader->status();
       task->output_records = emitter.pairs().size();
       *pairs = std::move(emitter.pairs());
+      if (task_span.active()) {
+        task_span.AddArg("input_records", task->input_records);
+        task_span.AddArg("output_records", task->output_records);
+      }
+      m_task_cpu_micros->Observe(
+          static_cast<uint64_t>(task->cpu_seconds * 1e6));
     }
+    task_span.End();
+    m_slots_active->Add(-1);
     gate.Release(node);
     return status;
   };
@@ -337,25 +415,43 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
         result.pairs = std::move(pairs);
         return;
       }
-      retry.RecordFailure(node);
+      m_task_retries->Increment();
+      TraceInstant(trace, "task_retry", "mr",
+                   {{"split", TraceCollector::JsonValue(
+                                  static_cast<uint64_t>(i))},
+                    {"node", TraceCollector::JsonValue(node)},
+                    {"error", TraceCollector::JsonValue(
+                                  result.status.message())}});
+      if (retry.RecordFailure(node)) {
+        m_nodes_blacklisted->Increment();
+        TraceInstant(trace, "node_blacklisted", "mr",
+                     {{"node", TraceCollector::JsonValue(node)}});
+      }
       failed_cpu += task.cpu_seconds;
       failed_io.Add(task.io);
     }
   };
 
   std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) {
-    pool = std::make_unique<ThreadPool>(threads);
-    for (size_t i = 0; i < splits.size(); ++i) {
-      pool->Submit([&execute_task, i] { execute_task(i); });
+  {
+    ScopedSpan map_span(trace, "map_phase", "mr");
+    if (map_span.active()) {
+      map_span.AddArg("tasks", static_cast<uint64_t>(splits.size()));
+      map_span.AddArg("threads", threads);
     }
-    pool->Wait();
-  } else {
-    for (size_t i = 0; i < splits.size(); ++i) {
-      execute_task(i);
-      // Fail fast like the original serial loop (after the task's own
-      // retries are exhausted); the merge below reports the failure.
-      if (!results[i].status.ok()) break;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      for (size_t i = 0; i < splits.size(); ++i) {
+        pool->Submit([&execute_task, i] { execute_task(i); });
+      }
+      pool->Wait();
+    } else {
+      for (size_t i = 0; i < splits.size(); ++i) {
+        execute_task(i);
+        // Fail fast like the original serial loop (after the task's own
+        // retries are exhausted); the merge below reports the failure.
+        if (!results[i].status.ok()) break;
+      }
     }
   }
 
@@ -405,6 +501,10 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
   for (double t : task_times) task_time_sum += t;
   report->map_slot_seconds =
       task_time_sum / std::max(1, fs_->config().TotalMapSlots());
+  metrics->counter("mr.map.input_records")
+      ->Increment(report->map_input_records);
+  metrics->counter("mr.map.output_records")
+      ->Increment(report->map_output_records);
 
   // ---- Shuffle + reduce (skipped for map-only jobs).
   if (job.reducer) {
@@ -418,15 +518,32 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
     // contents keep map-output order, so the per-partition stable sort is
     // deterministic too.
     std::vector<std::vector<std::pair<Value, Value>>> partitions(num_reducers);
-    std::hash<std::string> hasher;
-    for (auto& pair : map_output) {
-      const size_t p = hasher(pair.first.ToString()) % num_reducers;
-      partitions[p].push_back(std::move(pair));
+    {
+      ScopedSpan shuffle_span(trace, "shuffle", "mr");
+      std::hash<std::string> hasher;
+      for (auto& pair : map_output) {
+        const size_t p = hasher(pair.first.ToString()) % num_reducers;
+        partitions[p].push_back(std::move(pair));
+      }
+      if (shuffle_span.active()) {
+        shuffle_span.AddArg("partitions",
+                            static_cast<uint64_t>(partitions.size()));
+        shuffle_span.AddArg("bytes", report->map_output_bytes);
+      }
     }
+    report->shuffle_bytes = report->map_output_bytes;
+    metrics->counter("mr.shuffle.bytes")->Increment(report->shuffle_bytes);
 
     std::vector<ReduceTaskResult> reduced(partitions.size());
     auto execute_reducer = [&](size_t p) {
       auto& partition = partitions[p];
+      ScopedSpan reduce_span(trace, "reduce_task", "mr");
+      if (reduce_span.active()) {
+        reduce_span.AddArg("partition", static_cast<uint64_t>(p));
+        reduce_span.AddArg("input_records",
+                           static_cast<uint64_t>(partition.size()));
+      }
+      reduced[p].input_records = partition.size();
       ThreadCpuStopwatch watch;
       std::stable_sort(partition.begin(), partition.end(),
                        [](const auto& a, const auto& b) {
@@ -438,20 +555,27 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
       reduced[p].pairs = std::move(emitter.pairs());
     };
 
-    if (pool != nullptr) {
-      for (size_t p = 0; p < partitions.size(); ++p) {
-        pool->Submit([&execute_reducer, p] { execute_reducer(p); });
+    {
+      ScopedSpan reduce_phase_span(trace, "reduce_phase", "mr");
+      if (pool != nullptr) {
+        for (size_t p = 0; p < partitions.size(); ++p) {
+          pool->Submit([&execute_reducer, p] { execute_reducer(p); });
+        }
+        pool->Wait();
+      } else {
+        for (size_t p = 0; p < partitions.size(); ++p) execute_reducer(p);
       }
-      pool->Wait();
-    } else {
-      for (size_t p = 0; p < partitions.size(); ++p) execute_reducer(p);
     }
 
     // Merge emitted output in partition order — identical to running the
     // reducers one after another.
+    Counter* m_reduce_input = metrics->counter("mr.reduce.input_records");
     double max_reducer_seconds = 0;
+    report->reduce_input_records.reserve(reduced.size());
     for (ReduceTaskResult& result : reduced) {
       max_reducer_seconds = std::max(max_reducer_seconds, result.cpu_seconds);
+      report->reduce_input_records.push_back(result.input_records);
+      m_reduce_input->Increment(result.input_records);
       for (auto& pair : result.pairs) {
         report->output.push_back(std::move(pair));
       }
@@ -469,6 +593,7 @@ Status JobRunner::Run(const Job& job, JobReport* report) {
 
     // Materialize the reduce output as text part files when requested.
     if (!job.config.output_path.empty()) {
+      ScopedSpan output_span(trace, "output.write", "mr");
       std::unique_ptr<FileWriter> writer;
       COLMR_RETURN_IF_ERROR(
           fs_->Create(job.config.output_path + "/part-r-00000", &writer));

@@ -47,10 +47,20 @@ class JobRunner {
   /// in-flight tasks, then reports the lowest-index failure). The failure
   /// and recovery counters (task_retries, checksum_failures,
   /// failover_reads, blacklisted_nodes) are filled even when Run fails.
+  ///
+  /// Observability (DESIGN.md §8): counters go to JobConfig::metrics (or
+  /// the default registry); when JobConfig::trace or trace_path is set
+  /// the run emits nested job → phase → task → hdfs.read spans, written
+  /// to trace_path as Chrome trace_event JSON on return.
   Status Run(const Job& job, JobReport* report);
 
  private:
   struct MapTaskResult;
+
+  /// Run() minus trace lifecycle: Run wraps this in the root "job" span
+  /// and flushes the collector to JobConfig::trace_path afterwards.
+  Status RunImpl(const Job& job, JobReport* report, MetricsRegistry* metrics,
+                 TraceCollector* trace);
 
   /// Picks the execution node for a split: the least-loaded node holding
   /// all of the split's files, unless it is overloaded relative to a

@@ -56,9 +56,19 @@ class InputFormat {
 
   virtual std::string name() const = 0;
 
-  /// Enumerates the splits of the job's input paths.
+  /// Enumerates the splits of the job's input paths. The read context
+  /// carries the metrics/trace sinks of the job doing the planning, so
+  /// footer and schema reads account to the job rather than the process.
   virtual Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                           const ReadContext& context,
                            std::vector<InputSplit>* splits) = 0;
+
+  /// Convenience overload for context-free callers (tests, tools).
+  /// Derived classes re-expose it with `using InputFormat::GetSplits`.
+  Status GetSplits(MiniHdfs* fs, const JobConfig& config,
+                   std::vector<InputSplit>* splits) {
+    return GetSplits(fs, config, ReadContext{}, splits);
+  }
 
   /// Opens a reader over one split in the given read context (the node the
   /// map task was scheduled on, plus its IoStats sink).

@@ -14,6 +14,9 @@
 
 namespace colmr {
 
+class MetricsRegistry;
+class TraceCollector;
+
 /// Per-job configuration, the moral equivalent of Hadoop's JobConf.
 struct JobConfig {
   std::vector<std::string> input_paths;
@@ -58,6 +61,20 @@ struct JobConfig {
   /// (the per-job tracker blacklist,
   /// mapreduce.job.maxtaskfailures.per.tracker).
   int node_blacklist_failures = 3;
+
+  // ---- Observability hooks (DESIGN.md §8) ----
+  /// Registry the job's hdfs/cif/mr counters go to. Null = the
+  /// process-wide MetricsRegistry::Default(); pass a private registry to
+  /// isolate one job's counts.
+  MetricsRegistry* metrics = nullptr;
+  /// Collector the job's spans go to. Null = no caller collector; spans
+  /// are then emitted only if trace_path is set (the engine owns a
+  /// collector for the duration of Run and writes it out at the end).
+  TraceCollector* trace = nullptr;
+  /// When non-empty, Run() writes the job's trace here as Chrome
+  /// trace_event JSON (loadable at https://ui.perfetto.dev). Works with
+  /// either an external or an engine-owned collector.
+  std::string trace_path;
 };
 
 /// Receives the key/value pairs produced by map and reduce functions.
@@ -153,6 +170,16 @@ struct JobReport {
   /// Collected reduce output (key, value) pairs, when the job has a
   /// reducer; also written to config.output_path as text part files.
   std::vector<std::pair<Value, Value>> output;
+
+  // ---- Reduce-side accounting (appended; existing fields above keep
+  // ---- their layout and meaning) ----
+  /// Bytes of map output crossing the shuffle (tagged-encoding size of
+  /// every (key, value) pair entering partitions) — equals
+  /// map_output_bytes today, recorded separately so combiner-side
+  /// reductions stay visible if the two ever diverge.
+  uint64_t shuffle_bytes = 0;
+  /// Records entering each reduce partition, indexed by partition.
+  std::vector<uint64_t> reduce_input_records;
 };
 
 }  // namespace colmr

@@ -1,0 +1,358 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace colmr {
+
+void JsonWriter::Comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Comma();
+  out_.push_back('"');
+  out_ += Escape(key);
+  out_ += "\":";
+}
+
+void JsonWriter::Scalar(std::string_view raw) { out_ += raw; }
+
+std::string JsonWriter::Number(double value) {
+  // JSON has no NaN/Inf; emit null so the document stays parseable.
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::BeginObject(std::string_view key) {
+  Key(key);
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::BeginArray(std::string_view key) {
+  Key(key);
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Field(key, std::string_view(value));
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  Scalar(std::to_string(value));
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Scalar(std::to_string(value));
+}
+
+void JsonWriter::Field(std::string_view key, int value) {
+  Field(key, static_cast<int64_t>(value));
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Scalar(Number(value));
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Scalar(value ? "true" : "false");
+}
+
+void JsonWriter::FieldRaw(std::string_view key, std::string_view raw) {
+  Key(key);
+  Scalar(raw);
+}
+
+void JsonWriter::Element(std::string_view value) {
+  Comma();
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Element(uint64_t value) {
+  Comma();
+  Scalar(std::to_string(value));
+}
+
+void JsonWriter::Element(double value) {
+  Comma();
+  Scalar(Number(value));
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON validator.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing garbage at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* c) {
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) != lit) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Digits() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start || Fail("expected digits");
+  }
+
+  bool NumberTok() {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size()) return Fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      if (!Digits()) return false;
+    } else {
+      return Fail("bad number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated object");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated array");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool Value() {
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    bool ok = ValueInner();
+    --depth_;
+    return ok;
+  }
+
+  bool ValueInner() {
+    char c;
+    if (!Peek(&c)) return Fail("expected value");
+    switch (c) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return NumberTok();
+        }
+        return Fail("unexpected character");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text, std::string* error) {
+  return Validator(text).Run(error);
+}
+
+}  // namespace colmr

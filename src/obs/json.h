@@ -1,0 +1,79 @@
+#ifndef COLMR_OBS_JSON_H_
+#define COLMR_OBS_JSON_H_
+
+// Minimal JSON emission and validation used by the observability layer.
+//
+// JsonWriter is a streaming writer: the caller opens/closes objects and
+// arrays and the writer inserts commas and escapes strings.  It never
+// buffers the document, so metric snapshots and traces of any size stream
+// straight into a std::string.  ValidateJson is a strict recursive-descent
+// checker used by tests (and the CI bench-smoke job via `colmr`) to reject
+// malformed BENCH_*.json / trace output without a third-party parser.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace colmr {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Structural tokens.  BeginObject/BeginArray may be given a key when
+  // nested directly inside an object.
+  void BeginObject();
+  void BeginObject(std::string_view key);
+  void EndObject();
+  void BeginArray();
+  void BeginArray(std::string_view key);
+  void EndArray();
+
+  // Key/value members (only valid inside an object).
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, int value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+  // Emits an already-rendered JSON value verbatim under `key`; the caller
+  // guarantees `raw` is itself well-formed JSON (bench::Report stores its
+  // heterogeneous cell values pre-rendered, like TraceCollector args).
+  void FieldRaw(std::string_view key, std::string_view raw);
+
+  // Bare array elements (only valid inside an array).
+  void Element(std::string_view value);
+  void Element(uint64_t value);
+  void Element(double value);
+
+  // The document built so far.  Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  // Escapes `s` per RFC 8259 (quotes, backslash, control chars).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void Comma();
+  void Key(std::string_view key);
+  void Scalar(std::string_view raw);
+  static std::string Number(double value);
+
+  std::string out_;
+  // One entry per open scope: true once the scope has emitted a member
+  // (so the next member needs a leading comma).
+  std::vector<bool> needs_comma_;
+};
+
+// Returns true iff `text` is a single well-formed JSON value (with
+// optional surrounding whitespace).  Strict: rejects trailing commas,
+// unquoted keys, duplicate structural tokens, bad escapes, and trailing
+// garbage.  On failure, *error (if non-null) describes the first problem
+// and the byte offset where it occurred.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace colmr
+
+#endif  // COLMR_OBS_JSON_H_

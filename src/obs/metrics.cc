@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace colmr {
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::HistogramData::count() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  return total;
+}
+
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 0-based.
+  double rank = q * static_cast<double>(total - 1);
+  uint64_t seen = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    uint64_t in_bucket = buckets[b];
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      double lo = static_cast<double>(Histogram::BucketLower(b));
+      double hi = static_cast<double>(Histogram::BucketUpper(b));
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(Histogram::BucketUpper(Histogram::kNumBuckets - 1));
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= prev ? value - prev : value;
+  }
+  // Gauges are levels, not totals: keep the current reading.
+  out.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    auto it = before.histograms.find(name);
+    HistogramData d = hist;
+    if (it != before.histograms.end()) {
+      const HistogramData& prev = it->second;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        d.buckets[b] =
+            d.buckets[b] >= prev.buckets[b] ? d.buckets[b] - prev.buckets[b]
+                                            : d.buckets[b];
+      }
+      d.sum = d.sum >= prev.sum ? d.sum - prev.sum : d.sum;
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::NonZero() const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    if (value != 0) out.counters[name] = value;
+  }
+  for (const auto& [name, g] : gauges) {
+    if (g.value != 0 || g.max != 0) out.gauges[name] = g;
+  }
+  for (const auto& [name, h] : histograms) {
+    if (h.count() != 0) out.histograms[name] = h;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges) {
+    out += name;
+    out += ' ';
+    out += std::to_string(g.value);
+    out += " (max ";
+    out += std::to_string(g.max);
+    out += ")\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name;
+    out += " count=";
+    out += std::to_string(h.count());
+    out += " sum=";
+    out += std::to_string(h.sum);
+    out += " p50=";
+    out += std::to_string(static_cast<uint64_t>(h.Quantile(0.5)));
+    out += " p99=";
+    out += std::to_string(static_cast<uint64_t>(h.Quantile(0.99)));
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter* writer) const {
+  writer->BeginObject("counters");
+  for (const auto& [name, value] : counters) writer->Field(name, value);
+  writer->EndObject();
+  writer->BeginObject("gauges");
+  for (const auto& [name, g] : gauges) {
+    writer->BeginObject(name);
+    writer->Field("value", g.value);
+    writer->Field("max", g.max);
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->BeginObject("histograms");
+  for (const auto& [name, h] : histograms) {
+    writer->BeginObject(name);
+    writer->Field("count", h.count());
+    writer->Field("sum", h.sum);
+    writer->Field("p50", h.Quantile(0.5));
+    writer->Field("p95", h.Quantile(0.95));
+    writer->Field("p99", h.Quantile(0.99));
+    // Sparse bucket list: [[bucket_index, count], ...].
+    writer->BeginArray("buckets");
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      writer->BeginArray();
+      writer->Element(static_cast<uint64_t>(b));
+      writer->Element(h.buckets[b]);
+      writer->EndArray();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteJson(&writer);
+  writer.EndObject();
+  return writer.Take();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = {g->value(), g->max_value()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData d;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) d.buckets[b] = h->bucket(b);
+    d.sum = h->sum();
+    snap.histograms[name] = d;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace colmr

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace colmr {
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+int TraceCollector::TidLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it == tids_.end()) {
+    it = tids_.emplace(id, static_cast<int>(tids_.size()) + 1).first;
+  }
+  return it->second;
+}
+
+void TraceCollector::AddComplete(std::string_view name,
+                                 std::string_view category, uint64_t ts_us,
+                                 uint64_t dur_us, std::vector<Arg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(category), 'X', ts_us,
+                          dur_us, TidLocked(std::this_thread::get_id()),
+                          std::move(args)});
+}
+
+void TraceCollector::AddInstant(std::string_view name,
+                                std::string_view category,
+                                std::vector<Arg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(category), 'i',
+                          NowMicros(), 0,
+                          TidLocked(std::this_thread::get_id()),
+                          std::move(args)});
+}
+
+size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceCollector::JsonValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  out += JsonWriter::Escape(v);
+  out.push_back('"');
+  return out;
+}
+
+std::string TraceCollector::JsonValue(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string TraceCollector::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonWriter::Escape(e.name);
+    out += "\",\"cat\":\"";
+    out += JsonWriter::Escape(e.category);
+    out += "\",\"ph\":\"";
+    out.push_back(e.phase);
+    out += "\",\"ts\":";
+    out += std::to_string(e.ts_us);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+    } else {
+      // Thread-scoped instant so Perfetto draws it on the emitting track.
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const Arg& arg : e.args) {
+        if (!first_arg) out.push_back(',');
+        first_arg = false;
+        out.push_back('"');
+        out += JsonWriter::Escape(arg.first);
+        out += "\":";
+        out += arg.second;  // already-rendered JSON value
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceCollector::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open trace file " + path);
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IoError("failed writing trace file " + path);
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(TraceCollector* collector, std::string_view name,
+                       std::string_view category)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  start_us_ = collector_->NowMicros();
+}
+
+void ScopedSpan::End() {
+  if (collector_ == nullptr) return;
+  uint64_t end_us = collector_->NowMicros();
+  // Perfetto renders zero-duration slices invisibly; clamp to 1us.
+  uint64_t dur = end_us > start_us_ ? end_us - start_us_ : 1;
+  collector_->AddComplete(name_, category_, start_us_, dur, std::move(args_));
+  collector_ = nullptr;
+}
+
+}  // namespace colmr

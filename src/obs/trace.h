@@ -1,0 +1,130 @@
+#ifndef COLMR_OBS_TRACE_H_
+#define COLMR_OBS_TRACE_H_
+
+// Trace spans in Chrome trace_event JSON.
+//
+// A TraceCollector accumulates "complete" events (ph:"X", with ts/dur
+// in microseconds) and instant events (ph:"i"); ToJson() renders the
+// {"traceEvents":[...]} document that https://ui.perfetto.dev and
+// chrome://tracing load directly.  ScopedSpan is the RAII producer: it
+// records the start time at construction and appends the event at
+// destruction, so per-thread spans nest naturally (a child span object
+// lives inside its parent's scope on the same thread, giving the
+// nested job -> phase -> task -> hdfs.read timeline).
+//
+// A null collector disables everything: ScopedSpan(nullptr, ...) and
+// instant events on a null collector are no-ops, so instrumented code
+// pays nothing when tracing is off.  Thread ids are remapped to small
+// integers in first-seen order, which keeps traces byte-deterministic
+// at parallelism=1.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colmr {
+
+class TraceCollector {
+ public:
+  // One argument on an event: key plus a pre-rendered JSON value (the
+  // ScopedSpan/instant helpers render scalars; callers never build
+  // these by hand).
+  using Arg = std::pair<std::string, std::string>;
+
+  TraceCollector();
+
+  // Microseconds since this collector was created.
+  uint64_t NowMicros() const;
+
+  // Appends a complete event (ph:"X").  Thread-safe.
+  void AddComplete(std::string_view name, std::string_view category,
+                   uint64_t ts_us, uint64_t dur_us, std::vector<Arg> args);
+  // Appends a thread-scoped instant event (ph:"i").  Thread-safe.
+  void AddInstant(std::string_view name, std::string_view category,
+                  std::vector<Arg> args);
+
+  size_t event_count() const;
+
+  // Renders {"traceEvents":[...]}.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  // Renders one scalar as a JSON value, for building Args.
+  static std::string JsonValue(std::string_view v);
+  static std::string JsonValue(const char* v) {
+    return JsonValue(std::string_view(v));
+  }
+  static std::string JsonValue(uint64_t v) { return std::to_string(v); }
+  static std::string JsonValue(int64_t v) { return std::to_string(v); }
+  static std::string JsonValue(int v) { return std::to_string(v); }
+  static std::string JsonValue(bool v) { return v ? "true" : "false"; }
+  static std::string JsonValue(double v);
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;  // 'X' or 'i'
+    uint64_t ts_us;
+    uint64_t dur_us;
+    int tid;
+    std::vector<Arg> args;
+  };
+
+  int TidLocked(std::thread::id id);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> tids_;
+};
+
+// RAII span.  Records start at construction, emits the complete event
+// at destruction (or at End()).  All methods are no-ops when the
+// collector is null.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, std::string_view name,
+             std::string_view category = "app");
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return collector_ != nullptr; }
+
+  template <typename T>
+  void AddArg(std::string_view key, T value) {
+    if (collector_ == nullptr) return;
+    args_.emplace_back(std::string(key), TraceCollector::JsonValue(value));
+  }
+
+  // Emits the event now; the destructor becomes a no-op.
+  void End();
+
+ private:
+  TraceCollector* collector_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+  std::vector<TraceCollector::Arg> args_;
+};
+
+// Convenience for one-shot markers (retries, blacklistings, ...).
+inline void TraceInstant(TraceCollector* collector, std::string_view name,
+                         std::string_view category,
+                         std::vector<TraceCollector::Arg> args = {}) {
+  if (collector == nullptr) return;
+  collector->AddInstant(name, category, std::move(args));
+}
+
+}  // namespace colmr
+
+#endif  // COLMR_OBS_TRACE_H_

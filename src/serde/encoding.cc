@@ -1,10 +1,28 @@
 #include "serde/encoding.h"
 
 #include "common/coding.h"
+#include "obs/metrics.h"
 
 namespace colmr {
 
-Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
+namespace {
+
+// serde.* counters are process-global: encode/decode run inside format
+// readers and the shuffle, far from any per-job context.  The public
+// entry points count one event per top-level value and delegate to the
+// *Rec workers below, so container recursion costs no extra atomics and
+// the hot path stays one relaxed add per value.
+Counter* SerdeCounter(const char* name) {
+  return MetricsRegistry::Default().counter(name);
+}
+
+Status EncodeValueRec(const Schema& schema, const Value& value, Buffer* dst);
+Status DecodeValueRec(const Schema& schema, Slice* input, Value* out);
+Status SkipValueRec(const Schema& schema, Slice* input);
+void EncodeTaggedValueRec(const Value& value, Buffer* dst);
+Status DecodeTaggedValueRec(Slice* input, Value* out);
+
+Status EncodeValueRec(const Schema& schema, const Value& value, Buffer* dst) {
   if (schema.kind() != value.kind()) {
     // Allow int32 values in int64 columns (widening), nothing else.
     if (!(schema.kind() == TypeKind::kInt64 &&
@@ -35,7 +53,7 @@ Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
       const auto& elems = value.elements();
       PutVarint64(dst, elems.size());
       for (const Value& e : elems) {
-        COLMR_RETURN_IF_ERROR(EncodeValue(*schema.element(), e, dst));
+        COLMR_RETURN_IF_ERROR(EncodeValueRec(*schema.element(), e, dst));
       }
       return Status::OK();
     }
@@ -44,7 +62,7 @@ Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
       PutVarint64(dst, entries.size());
       for (const auto& [k, v] : entries) {
         PutLengthPrefixed(dst, k);
-        COLMR_RETURN_IF_ERROR(EncodeValue(*schema.element(), v, dst));
+        COLMR_RETURN_IF_ERROR(EncodeValueRec(*schema.element(), v, dst));
       }
       return Status::OK();
     }
@@ -55,7 +73,7 @@ Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
         return Status::InvalidArgument("encode: record arity mismatch");
       }
       for (size_t i = 0; i < fields.size(); ++i) {
-        COLMR_RETURN_IF_ERROR(EncodeValue(*fields[i].type, values[i], dst));
+        COLMR_RETURN_IF_ERROR(EncodeValueRec(*fields[i].type, values[i], dst));
       }
       return Status::OK();
     }
@@ -63,7 +81,7 @@ Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
   return Status::InvalidArgument("encode: unknown kind");
 }
 
-Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
+Status DecodeValueRec(const Schema& schema, Slice* input, Value* out) {
   switch (schema.kind()) {
     case TypeKind::kNull:
       *out = Value::Null();
@@ -110,7 +128,7 @@ Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
       elems.reserve(count);
       for (uint64_t i = 0; i < count; ++i) {
         Value v;
-        COLMR_RETURN_IF_ERROR(DecodeValue(*schema.element(), input, &v));
+        COLMR_RETURN_IF_ERROR(DecodeValueRec(*schema.element(), input, &v));
         elems.push_back(std::move(v));
       }
       *out = Value::Array(std::move(elems));
@@ -126,7 +144,7 @@ Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
         Slice key;
         COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
         Value v;
-        COLMR_RETURN_IF_ERROR(DecodeValue(*schema.element(), input, &v));
+        COLMR_RETURN_IF_ERROR(DecodeValueRec(*schema.element(), input, &v));
         entries.emplace_back(std::string(key.data(), key.size()),
                              std::move(v));
       }
@@ -138,7 +156,7 @@ Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
       values.reserve(schema.fields().size());
       for (const auto& field : schema.fields()) {
         Value v;
-        COLMR_RETURN_IF_ERROR(DecodeValue(*field.type, input, &v));
+        COLMR_RETURN_IF_ERROR(DecodeValueRec(*field.type, input, &v));
         values.push_back(std::move(v));
       }
       *out = Value::Record(std::move(values));
@@ -148,7 +166,7 @@ Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
   return Status::Corruption("decode: unknown kind");
 }
 
-Status SkipValue(const Schema& schema, Slice* input) {
+Status SkipValueRec(const Schema& schema, Slice* input) {
   switch (schema.kind()) {
     case TypeKind::kNull:
       return Status::OK();
@@ -176,7 +194,7 @@ Status SkipValue(const Schema& schema, Slice* input) {
       COLMR_RETURN_IF_ERROR(GetVarint64(input, &count));
       COLMR_RETURN_IF_ERROR(CheckContainerCount(count, input->size()));
       for (uint64_t i = 0; i < count; ++i) {
-        COLMR_RETURN_IF_ERROR(SkipValue(*schema.element(), input));
+        COLMR_RETURN_IF_ERROR(SkipValueRec(*schema.element(), input));
       }
       return Status::OK();
     }
@@ -187,13 +205,13 @@ Status SkipValue(const Schema& schema, Slice* input) {
       for (uint64_t i = 0; i < count; ++i) {
         Slice key;
         COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
-        COLMR_RETURN_IF_ERROR(SkipValue(*schema.element(), input));
+        COLMR_RETURN_IF_ERROR(SkipValueRec(*schema.element(), input));
       }
       return Status::OK();
     }
     case TypeKind::kRecord: {
       for (const auto& field : schema.fields()) {
-        COLMR_RETURN_IF_ERROR(SkipValue(*field.type, input));
+        COLMR_RETURN_IF_ERROR(SkipValueRec(*field.type, input));
       }
       return Status::OK();
     }
@@ -201,13 +219,7 @@ Status SkipValue(const Schema& schema, Slice* input) {
   return Status::Corruption("skip: unknown kind");
 }
 
-size_t EncodedSize(const Schema& schema, const Value& value) {
-  Buffer tmp;
-  EncodeValue(schema, value, &tmp);
-  return tmp.size();
-}
-
-void EncodeTaggedValue(const Value& value, Buffer* dst) {
+void EncodeTaggedValueRec(const Value& value, Buffer* dst) {
   dst->PushBack(static_cast<char>(value.kind()));
   switch (value.kind()) {
     case TypeKind::kNull:
@@ -232,7 +244,7 @@ void EncodeTaggedValue(const Value& value, Buffer* dst) {
     case TypeKind::kRecord: {
       const auto& elems = value.elements();
       PutVarint64(dst, elems.size());
-      for (const Value& e : elems) EncodeTaggedValue(e, dst);
+      for (const Value& e : elems) EncodeTaggedValueRec(e, dst);
       break;
     }
     case TypeKind::kMap: {
@@ -240,14 +252,14 @@ void EncodeTaggedValue(const Value& value, Buffer* dst) {
       PutVarint64(dst, entries.size());
       for (const auto& [k, v] : entries) {
         PutLengthPrefixed(dst, k);
-        EncodeTaggedValue(v, dst);
+        EncodeTaggedValueRec(v, dst);
       }
       break;
     }
   }
 }
 
-Status DecodeTaggedValue(Slice* input, Value* out) {
+Status DecodeTaggedValueRec(Slice* input, Value* out) {
   if (input->empty()) return Status::Corruption("tagged: empty");
   const TypeKind kind = static_cast<TypeKind>((*input)[0]);
   input->RemovePrefix(1);
@@ -297,7 +309,7 @@ Status DecodeTaggedValue(Slice* input, Value* out) {
       elems.reserve(count);
       for (uint64_t i = 0; i < count; ++i) {
         Value v;
-        COLMR_RETURN_IF_ERROR(DecodeTaggedValue(input, &v));
+        COLMR_RETURN_IF_ERROR(DecodeTaggedValueRec(input, &v));
         elems.push_back(std::move(v));
       }
       *out = kind == TypeKind::kArray ? Value::Array(std::move(elems))
@@ -314,7 +326,7 @@ Status DecodeTaggedValue(Slice* input, Value* out) {
         Slice key;
         COLMR_RETURN_IF_ERROR(GetLengthPrefixed(input, &key));
         Value v;
-        COLMR_RETURN_IF_ERROR(DecodeTaggedValue(input, &v));
+        COLMR_RETURN_IF_ERROR(DecodeTaggedValueRec(input, &v));
         entries.emplace_back(std::string(key.data(), key.size()),
                              std::move(v));
       }
@@ -325,9 +337,48 @@ Status DecodeTaggedValue(Slice* input, Value* out) {
   return Status::Corruption("tagged: unknown kind");
 }
 
+}  // namespace
+
+Status EncodeValue(const Schema& schema, const Value& value, Buffer* dst) {
+  static Counter* values = SerdeCounter("serde.encode.values");
+  values->Increment();
+  return EncodeValueRec(schema, value, dst);
+}
+
+Status DecodeValue(const Schema& schema, Slice* input, Value* out) {
+  static Counter* values = SerdeCounter("serde.decode.values");
+  values->Increment();
+  return DecodeValueRec(schema, input, out);
+}
+
+Status SkipValue(const Schema& schema, Slice* input) {
+  static Counter* values = SerdeCounter("serde.skip.values");
+  values->Increment();
+  return SkipValueRec(schema, input);
+}
+
+size_t EncodedSize(const Schema& schema, const Value& value) {
+  // Scratch encode for sizing only: bypasses the serde.encode counter.
+  Buffer tmp;
+  EncodeValueRec(schema, value, &tmp);
+  return tmp.size();
+}
+
+void EncodeTaggedValue(const Value& value, Buffer* dst) {
+  static Counter* values = SerdeCounter("serde.shuffle.values_encoded");
+  values->Increment();
+  EncodeTaggedValueRec(value, dst);
+}
+
+Status DecodeTaggedValue(Slice* input, Value* out) {
+  static Counter* values = SerdeCounter("serde.shuffle.values_decoded");
+  values->Increment();
+  return DecodeTaggedValueRec(input, out);
+}
+
 size_t TaggedEncodedSize(const Value& value) {
   Buffer tmp;
-  EncodeTaggedValue(value, &tmp);
+  EncodeTaggedValueRec(value, &tmp);
   return tmp.size();
 }
 

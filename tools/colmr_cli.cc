@@ -18,6 +18,14 @@
 //   colmr scan  <image> <dataset> [p]           run a scan job; with p > 0,
 //                                               inject transient read
 //                                               errors with probability p
+//   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
+//                                               run a scan job and dump the
+//                                               metrics delta it produced
+//   colmr trace <image> <dataset> <out.json> [--lazy] [--project=c1,c2]
+//                                               run a scan job and write its
+//                                               span timeline as Chrome
+//                                               trace_event JSON (open at
+//                                               https://ui.perfetto.dev)
 //
 // Example session:
 //   colmr init /tmp/fs.img 8
@@ -42,6 +50,8 @@
 #include "hdfs/mini_hdfs.h"
 #include "mapreduce/engine.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/crawl.h"
 #include "workload/synthetic.h"
 #include "workload/weblog.h"
@@ -57,8 +67,8 @@ int Fail(const Status& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: colmr <init|gen|ls|stat|schema|head|convert|kill|"
-               "rerep|corrupt|scan> <image> [args...]\n(see the header of "
-               "tools/colmr_cli.cc for details)\n");
+               "rerep|corrupt|scan|stats|trace> <image> [args...]\n(see the "
+               "header of tools/colmr_cli.cc for details)\n");
   return 2;
 }
 
@@ -411,6 +421,99 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   return 0;
 }
 
+/// Shared flag parsing for the stats/trace job commands: consumes
+/// --lazy / --project from argv, leaving positional args in place.
+struct ScanJobFlags {
+  bool json = false;
+  bool lazy = false;
+  std::vector<std::string> projection;
+  std::vector<std::string> positional;
+};
+
+ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
+  ScanJobFlags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--lazy") {
+      flags.lazy = true;
+    } else if (arg.rfind("--project=", 0) == 0) {
+      std::string cols = arg.substr(10);
+      size_t start = 0;
+      while (start <= cols.size()) {
+        size_t comma = cols.find(',', start);
+        if (comma == std::string::npos) comma = cols.size();
+        if (comma > start) {
+          flags.projection.push_back(cols.substr(start, comma - start));
+        }
+        start = comma + 1;
+      }
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+/// Builds and runs the count-records scan job both commands share.
+Status RunScanJob(MiniHdfs* fs, const std::string& path,
+                  const ScanJobFlags& flags, const std::string& trace_path,
+                  JobReport* report) {
+  Job job;
+  job.config.input_paths = {path};
+  job.config.lazy_records = flags.lazy;
+  job.config.projection = flags.projection;
+  job.config.trace_path = trace_path;
+  COLMR_RETURN_IF_ERROR(
+      DetectInputFormat(fs, path, &job.input_format, nullptr));
+  job.mapper = [](Record&, Emitter*) {};
+  JobRunner runner(fs);
+  return runner.Run(job, report);
+}
+
+int CmdStats(const std::string& image, int argc, char** argv) {
+  const ScanJobFlags flags = ParseScanJobFlags(argc, argv);
+  if (flags.positional.size() != 1) return Usage();
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+
+  // Diff the process-wide registry around the job: the delta is exactly
+  // what this scan did, across every layer (hdfs, cif, serde, mr).
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
+  JobReport report;
+  s = RunScanJob(fs.get(), flags.positional[0], flags, "", &report);
+  if (!s.ok()) return Fail(s);
+  const MetricsSnapshot delta =
+      MetricsRegistry::Default().Snapshot().Diff(before).NonZero();
+  if (flags.json) {
+    std::printf("%s\n", delta.ToJson().c_str());
+  } else {
+    std::printf("%s", delta.ToText().c_str());
+  }
+  return 0;
+}
+
+int CmdTrace(const std::string& image, int argc, char** argv) {
+  const ScanJobFlags flags = ParseScanJobFlags(argc, argv);
+  if (flags.positional.size() != 2) return Usage();
+  const std::string& path = flags.positional[0];
+  const std::string& out_path = flags.positional[1];
+  Status s;
+  auto fs = LoadFs(image, &s);
+  if (!s.ok()) return Fail(s);
+
+  JobReport report;
+  s = RunScanJob(fs.get(), path, flags, out_path, &report);
+  if (!s.ok()) return Fail(s);
+  std::printf("scanned %llu records in %zu map tasks\n"
+              "trace written to %s — open it at https://ui.perfetto.dev\n",
+              static_cast<unsigned long long>(report.map_input_records),
+              report.map_tasks.size(), out_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
@@ -428,6 +531,8 @@ int Run(int argc, char** argv) {
   if (command == "rerep") return CmdRerep(image);
   if (command == "corrupt") return CmdCorrupt(image, argc, argv);
   if (command == "scan") return CmdScan(image, argc, argv);
+  if (command == "stats") return CmdStats(image, argc, argv);
+  if (command == "trace") return CmdTrace(image, argc, argv);
   return Usage();
 }
 
