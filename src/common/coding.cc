@@ -28,19 +28,26 @@ void PutZigZag64(Buffer* dst, int64_t value) {
 }
 
 void PutFixed32(Buffer* dst, uint32_t value) {
+  // Explicit little-endian byte assembly: the on-disk CIF/COF/RCFile
+  // images must mean the same bytes on any host.
   char buf[4];
-  memcpy(buf, &value, 4);  // Little-endian host assumed (x86/ARM).
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
   dst->Append(buf, 4);
 }
 
 void PutFixed64(Buffer* dst, uint64_t value) {
   char buf[8];
-  memcpy(buf, &value, 8);
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
   dst->Append(buf, 8);
 }
 
 void PutDouble(Buffer* dst, double value) {
-  uint64_t bits;
+  uint64_t bits = 0;
   memcpy(&bits, &value, 8);
   PutFixed64(dst, bits);
 }
@@ -56,6 +63,12 @@ Status GetVarint64(Slice* input, uint64_t* value) {
     if (input->empty()) return Status::Corruption("truncated varint");
     uint8_t byte = static_cast<uint8_t>((*input)[0]);
     input->RemovePrefix(1);
+    // The 10th byte (shift 63) has room for exactly one payload bit; any
+    // higher bit would be shifted past bit 63 and silently dropped, making
+    // distinct byte strings decode to the same value.
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("varint overflow");
+    }
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
@@ -66,7 +79,7 @@ Status GetVarint64(Slice* input, uint64_t* value) {
 }
 
 Status GetVarint32(Slice* input, uint32_t* value) {
-  uint64_t v;
+  uint64_t v = 0;
   COLMR_RETURN_IF_ERROR(GetVarint64(input, &v));
   if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
   *value = static_cast<uint32_t>(v);
@@ -74,14 +87,14 @@ Status GetVarint32(Slice* input, uint32_t* value) {
 }
 
 Status GetZigZag32(Slice* input, int32_t* value) {
-  uint32_t v;
+  uint32_t v = 0;
   COLMR_RETURN_IF_ERROR(GetVarint32(input, &v));
   *value = ZigZagDecode32(v);
   return Status::OK();
 }
 
 Status GetZigZag64(Slice* input, int64_t* value) {
-  uint64_t v;
+  uint64_t v = 0;
   COLMR_RETURN_IF_ERROR(GetVarint64(input, &v));
   *value = ZigZagDecode64(v);
   return Status::OK();
@@ -89,27 +102,35 @@ Status GetZigZag64(Slice* input, int64_t* value) {
 
 Status GetFixed32(Slice* input, uint32_t* value) {
   if (input->size() < 4) return Status::Corruption("truncated fixed32");
-  memcpy(value, input->data(), 4);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input->data());
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
   input->RemovePrefix(4);
   return Status::OK();
 }
 
 Status GetFixed64(Slice* input, uint64_t* value) {
   if (input->size() < 8) return Status::Corruption("truncated fixed64");
-  memcpy(value, input->data(), 8);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input->data());
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  *value = result;
   input->RemovePrefix(8);
   return Status::OK();
 }
 
 Status GetDouble(Slice* input, double* value) {
-  uint64_t bits;
+  uint64_t bits = 0;
   COLMR_RETURN_IF_ERROR(GetFixed64(input, &bits));
   memcpy(value, &bits, 8);
   return Status::OK();
 }
 
 Status GetLengthPrefixed(Slice* input, Slice* value) {
-  uint64_t len;
+  uint64_t len = 0;
   COLMR_RETURN_IF_ERROR(GetVarint64(input, &len));
   if (input->size() < len) {
     return Status::Corruption("truncated length-prefixed bytes");

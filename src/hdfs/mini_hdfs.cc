@@ -10,6 +10,8 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/thread_pool.h"
+#include "hdfs/block_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -54,8 +56,30 @@ Status MiniHdfs::Open(const std::string& path, const ReadContext& context,
     blocks.push_back(FileReader::BlockRef{block, block_data_.at(block.id)});
   }
   reader->reset(new FileReader(this, path, std::move(blocks), it->second.size,
-                               context, FaultInjector(fault_config_)));
+                               context, FaultInjector(fault_config_),
+                               block_cache_));
   return Status::OK();
+}
+
+// ---- Block cache ----
+
+void MiniHdfs::SetBlockCache(std::shared_ptr<BlockCache> cache) {
+  std::unique_lock lock(mu_);
+  block_cache_ = std::move(cache);
+}
+
+std::shared_ptr<BlockCache> MiniHdfs::EnsureBlockCache(
+    uint64_t capacity_bytes, MetricsRegistry* metrics) {
+  std::unique_lock lock(mu_);
+  if (block_cache_ == nullptr) {
+    block_cache_ = std::make_shared<BlockCache>(capacity_bytes, metrics);
+  }
+  return block_cache_;
+}
+
+std::shared_ptr<BlockCache> MiniHdfs::block_cache() const {
+  std::shared_lock lock(mu_);
+  return block_cache_;
 }
 
 bool MiniHdfs::Exists(const std::string& path) const {
@@ -87,6 +111,7 @@ Status MiniHdfs::Delete(const std::string& path) {
   if (it == files_.end()) return Status::NotFound(path);
   for (const BlockInfo& block : it->second.blocks) {
     block_data_.erase(block.id);  // readers keep their shared_ptr snapshot
+    if (block_cache_ != nullptr) block_cache_->Erase(block.id);
     for (NodeId node : block.replicas) ForgetReplicaLocked(block.id, node);
   }
   files_.erase(it);
@@ -183,12 +208,17 @@ Status MiniHdfs::CorruptReplica(const std::string& path, size_t block_index,
   if (block_index >= it->second.blocks.size()) {
     return Status::InvalidArgument("block index out of range");
   }
-  const BlockInfo& block = it->second.blocks[block_index];
+  BlockInfo& block = it->second.blocks[block_index];
   if (replica_ordinal >= block.replicas.size()) {
     return Status::InvalidArgument("replica ordinal out of range");
   }
   const NodeId target = block.replicas[replica_ordinal];
   corrupted_.insert({block.id, target});
+  // The id's trustworthy-bytes mapping changed: readers opened from now
+  // on must re-verify through the replica path, never hit older cache
+  // entries (and their own inserts must not collide with them).
+  ++block.generation;
+  if (block_cache_ != nullptr) block_cache_->Erase(block.id);
   if (node != nullptr) *node = target;
   return Status::OK();
 }
@@ -310,6 +340,7 @@ Status MiniHdfs::ReReplicate() {
     for (BlockInfo& block : meta.blocks) {
       // Drop replicas reported bad: re-replication copies from a good
       // replica, and the bad copy's slot is what gets refilled.
+      bool changed = false;
       block.replicas.erase(
           std::remove_if(block.replicas.begin(), block.replicas.end(),
                          [&](NodeId node) {
@@ -317,6 +348,7 @@ Status MiniHdfs::ReReplicate() {
                              return false;
                            }
                            ForgetReplicaLocked(block.id, node);
+                           changed = true;
                            return true;
                          }),
           block.replicas.end());
@@ -336,6 +368,14 @@ Status MiniHdfs::ReReplicate() {
         // health marks for this (block, node) pair no longer apply.
         ForgetReplicaLocked(block.id, fresh);
         block.replicas.push_back(fresh);
+        changed = true;
+      }
+      if (changed) {
+        // Conservative cache invalidation: the replica set moved, so
+        // start a fresh generation and drop cached bytes keyed to the
+        // old one.
+        ++block.generation;
+        if (block_cache_ != nullptr) block_cache_->Erase(block.id);
       }
     }
   }
@@ -488,7 +528,10 @@ Status MiniHdfs::LoadImage(const std::string& local_path) {
   if (!cursor.empty()) return Status::Corruption("trailing bytes in image");
 
   // Adopt the loaded state, keeping our placement policy (future writes)
-  // and fault config (runtime-only, never persisted).
+  // and fault config (runtime-only, never persisted). The block cache
+  // stays attached but is emptied: image block ids can collide with ids
+  // this namespace already issued, and generations are not persisted.
+  if (block_cache_ != nullptr) block_cache_->Clear();
   config_ = loaded.config_;
   files_ = std::move(loaded.files_);
   block_data_ = std::move(loaded.block_data_);
@@ -548,13 +591,15 @@ Status FileWriter::Close() {
 
 FileReader::FileReader(const MiniHdfs* fs, std::string path,
                        std::vector<BlockRef> blocks, uint64_t size,
-                       ReadContext context, FaultInjector faults)
+                       ReadContext context, FaultInjector faults,
+                       std::shared_ptr<BlockCache> cache)
     : fs_(fs),
       path_(std::move(path)),
       blocks_(std::move(blocks)),
       context_(context),
       size_(size),
-      faults_(std::move(faults)) {
+      faults_(std::move(faults)),
+      cache_(std::move(cache)) {
   MetricsRegistry& metrics =
       context_.metrics != nullptr ? *context_.metrics : MetricsRegistry::Default();
   m_read_ops_ = metrics.counter("hdfs.read.ops");
@@ -564,6 +609,10 @@ FileReader::FileReader(const MiniHdfs* fs, std::string path,
   m_checksum_failures_ = metrics.counter("hdfs.read.checksum_failures");
   m_seeks_ = metrics.counter("hdfs.seek.count");
   m_read_bytes_ = metrics.histogram("hdfs.read.bytes");
+  m_prefetch_issued_ = metrics.counter("cif.prefetch.issued");
+  m_prefetch_blocks_ = metrics.counter("cif.prefetch.blocks");
+  m_prefetch_bytes_ = metrics.counter("cif.prefetch.bytes");
+  m_prefetch_dropped_ = metrics.counter("cif.prefetch.dropped");
   metrics.counter("hdfs.open.count")->Increment();
 }
 
@@ -591,6 +640,19 @@ Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
   if (faults_.ExecutionNodeBroken(context_.node)) {
     return Status::IoError("node " + std::to_string(context_.node) +
                            " cannot read (broken-node fault)");
+  }
+  // Read-through cache: a hit serves already-verified bytes with no
+  // replica selection, fault draws, or re-verification, and charges
+  // nothing to IoStats — a memory hit has no simulated disk/network cost.
+  // Entries only ever hold bytes that passed the CRC check below under
+  // the same (id, generation), so a registered-corrupt replica can never
+  // be behind a hit (CorruptReplica bumps the generation and erases).
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const std::string> cached =
+            cache_->Lookup(block.info.id, block.info.generation)) {
+      out->append(*cached, from, to - from);
+      return Status::OK();
+    }
   }
   const std::vector<MiniHdfs::ReplicaCandidate> candidates =
       fs_->ReadCandidates(block.info, context_.node);
@@ -626,6 +688,12 @@ Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
         continue;
       }
       verified_.insert({block.info.id, candidate.node});
+    }
+    // The serve below comes from the pristine stored bytes (a corrupt
+    // replica never reaches this point — its flipped CRC fails above), so
+    // they are safe to share through the cache under this generation.
+    if (cache_ != nullptr) {
+      cache_->Insert(block.info.id, block.info.generation, block.data);
     }
     out->append(*block.data, from, to - from);
     // Local-first candidate order means the local replica serves
@@ -687,6 +755,95 @@ Status FileReader::Read(uint64_t offset, size_t n, std::string* out) const {
     if (block_start >= offset + n) break;
   }
   return Status::OK();
+}
+
+size_t FileReader::BlockIndexOf(uint64_t offset, uint64_t* block_start) const {
+  uint64_t start = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const uint64_t end = start + blocks_[i].info.size;
+    if (offset < end) {
+      *block_start = start;
+      return i;
+    }
+    start = end;
+  }
+  *block_start = start;
+  return blocks_.size();
+}
+
+bool FileReader::TryReadView(uint64_t offset, uint64_t max_len, Slice* view,
+                             std::shared_ptr<const std::string>* pin) const {
+  if (cache_ == nullptr || offset >= size_ || max_len == 0) return false;
+  uint64_t block_start = 0;
+  const size_t index = BlockIndexOf(offset, &block_start);
+  if (index >= blocks_.size()) return false;
+  const BlockRef& block = blocks_[index];
+  std::shared_ptr<const std::string> cached =
+      cache_->Lookup(block.info.id, block.info.generation);
+  if (cached == nullptr) return false;
+  const uint64_t in_block = offset - block_start;
+  const uint64_t len = std::min(max_len, block.info.size - in_block);
+  m_read_ops_->Increment();
+  m_read_bytes_->Observe(len);
+  *view = Slice(cached->data() + in_block, len);
+  *pin = std::move(cached);
+  return true;
+}
+
+void FileReader::Prefetch(uint64_t offset) const {
+  if (!prefetch_enabled() || offset >= size_) return;
+  uint64_t block_start = 0;
+  size_t index = BlockIndexOf(offset, &block_start);
+  index = std::max(index, prefetch_next_block_);
+  const size_t limit = std::min(
+      blocks_.size(), index + static_cast<size_t>(context_.prefetch_depth));
+  int scheduled = 0;
+  for (; index < limit; ++index) {
+    const BlockRef& block = blocks_[index];
+    if (cache_->Contains(block.info.id, block.info.generation)) continue;
+    // Warm only blocks a foreground read could serve verified: some
+    // live, good, uncorrupted replica must exist — otherwise inserting
+    // the pristine stored bytes would resurrect data every replica has
+    // lost (the PR-2 invariant ReReplicate also preserves).
+    const std::vector<MiniHdfs::ReplicaCandidate> candidates =
+        fs_->ReadCandidates(block.info, context_.node);
+    bool servable = false;
+    for (const MiniHdfs::ReplicaCandidate& candidate : candidates) {
+      if (!candidate.corrupted) {
+        servable = true;
+        break;
+      }
+    }
+    if (!servable) {
+      m_prefetch_dropped_->Increment();
+      continue;
+    }
+    // The warm task is self-contained (cache + data + expected CRC +
+    // counters): it never touches this reader or the namenode, so it may
+    // outlive both the reader and the map task that issued it.
+    std::shared_ptr<BlockCache> cache = cache_;
+    std::shared_ptr<const std::string> data = block.data;
+    const uint64_t id = block.info.id;
+    const uint64_t generation = block.info.generation;
+    const uint32_t crc = block.info.crc;
+    Counter* warmed_bytes = m_prefetch_bytes_;
+    Counter* dropped = m_prefetch_dropped_;
+    context_.prefetch_pool->Submit(
+        [cache, data, id, generation, crc, warmed_bytes, dropped] {
+          // Same gate as the foreground path: only verified bytes enter
+          // the cache.
+          if (Crc32(Slice(*data)) != crc) {
+            dropped->Increment();
+            return;
+          }
+          cache->Insert(id, generation, data);
+          warmed_bytes->Increment(data->size());
+        });
+    m_prefetch_blocks_->Increment();
+    ++scheduled;
+  }
+  prefetch_next_block_ = std::max(prefetch_next_block_, index);
+  if (scheduled > 0) m_prefetch_issued_->Increment();
 }
 
 }  // namespace colmr

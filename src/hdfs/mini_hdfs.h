@@ -20,15 +20,23 @@ namespace colmr {
 
 class FileWriter;
 class FileReader;
+class BlockCache;
+class ThreadPool;
 
 /// One replicated block of a file. Data is stored once in the process;
 /// `replicas` is the placement metadata that drives locality accounting
 /// and scheduling. `crc` is the CRC-32 of the block contents, recorded by
 /// the namenode at seal time and verified per replica on read.
+/// `generation` versions the id for the shared block cache: the namenode
+/// bumps it whenever the id's trustworthy bytes may have changed
+/// (CorruptReplica, ReReplicate), so cache entries keyed by
+/// (id, generation) from before the event can never serve a reader
+/// opened after it. Runtime-only; not persisted in images.
 struct BlockInfo {
   uint64_t id = 0;
   uint64_t size = 0;
   uint32_t crc = 0;
+  uint64_t generation = 0;
   std::vector<NodeId> replicas;
 };
 
@@ -52,6 +60,18 @@ struct ReadContext {
   uint64_t fault_salt = 0;
   MetricsRegistry* metrics = nullptr;  // null -> MetricsRegistry::Default()
   TraceCollector* trace = nullptr;     // null -> tracing off
+  /// Readahead window for sequential buffered reads: once a stream looks
+  /// sequential, BufferedReader widens its fills to this many bytes.
+  /// 0 disables (fills stay at io.file.buffer.size).
+  uint64_t readahead_bytes = 0;
+  /// Upcoming HDFS blocks to warm into the block cache ahead of a
+  /// sequential scan. 0 disables. Effective only when the filesystem has
+  /// a block cache attached and prefetch_pool is set.
+  int prefetch_depth = 0;
+  /// Pool the warm tasks run on. Must not be the map-task pool (its FIFO
+  /// queue would order prefetch after every queued task); the engine
+  /// creates a small dedicated pool per run. Not owned.
+  ThreadPool* prefetch_pool = nullptr;
 };
 
 /// In-process HDFS: a namenode namespace of append-only files split into
@@ -127,6 +147,23 @@ class MiniHdfs {
 
   /// Total bytes stored (pre-replication), for space-usage reporting.
   uint64_t TotalStoredBytes() const;
+
+  // ---- Block cache ----
+
+  /// Attaches a shared cache of verified block bytes; readers opened
+  /// after this call read through it (DESIGN.md §9). Passing nullptr
+  /// detaches. The namenode invalidates entries on Delete /
+  /// CorruptReplica / ReReplicate and clears the cache on LoadImage.
+  void SetBlockCache(std::shared_ptr<BlockCache> cache);
+
+  /// Attaches a new cache of `capacity_bytes` if none is attached yet
+  /// (metric handles resolve from `metrics`, nullptr -> process default);
+  /// returns the attached cache either way. Lets repeated jobs over one
+  /// filesystem share a warm cache without coordinating ownership.
+  std::shared_ptr<BlockCache> EnsureBlockCache(uint64_t capacity_bytes,
+                                               MetricsRegistry* metrics);
+
+  std::shared_ptr<BlockCache> block_cache() const;
 
   // ---- Fault injection ----
 
@@ -235,6 +272,11 @@ class MiniHdfs {
   /// cannot pull data out from under an in-flight read.
   std::map<uint64_t, std::shared_ptr<const std::string>> block_data_;
   std::set<NodeId> dead_nodes_;
+  /// Shared cache of verified block bytes (DESIGN.md §9); may be null.
+  /// The pointer is guarded by mu_; the cache itself is internally
+  /// synchronized, so invalidation hooks may call it under mu_ (the
+  /// cache never calls back into the namenode).
+  std::shared_ptr<BlockCache> block_cache_;
   FaultConfig fault_config_;
   /// Replicas with registered permanent corruption (bit-flip on serve).
   std::set<ReplicaKey> corrupted_;
@@ -304,9 +346,36 @@ class FileReader {
   /// tracing is off). Downstream layers (CIF) reuse it for their spans.
   TraceCollector* trace() const { return context_.trace; }
 
+  /// Readahead window requested by the opener (ReadContext), consulted by
+  /// BufferedReader when widening sequential fills.
+  uint64_t readahead_bytes() const { return context_.readahead_bytes; }
+
+  /// True when this reader can warm upcoming blocks asynchronously: a
+  /// cache is attached and the opener supplied a prefetch pool + depth.
+  bool prefetch_enabled() const {
+    return cache_ != nullptr && context_.prefetch_pool != nullptr &&
+           context_.prefetch_depth > 0;
+  }
+
   /// Reads up to n bytes at offset into *out (replacing its contents).
   /// Short reads happen only at end-of-file.
   Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+  /// Zero-copy read: when the block containing `offset` is in the cache,
+  /// sets *view to the bytes [offset, min(offset + max_len, block end))
+  /// and *pin to shared ownership keeping them alive, and returns true.
+  /// The view never crosses a block boundary. Counts as a cache hit;
+  /// charges nothing to IoStats (a memory hit has no simulated I/O cost).
+  bool TryReadView(uint64_t offset, uint64_t max_len, Slice* view,
+                   std::shared_ptr<const std::string>* pin) const;
+
+  /// Schedules asynchronous warming of up to ReadContext::prefetch_depth
+  /// uncached blocks, starting at the block containing `offset`, onto the
+  /// prefetch pool. Each warm task verifies the stored bytes against the
+  /// namenode CRC before inserting. Blocks this reader already issued a
+  /// warm task for are skipped (the prefetch horizon only moves forward).
+  /// No-op unless prefetch_enabled().
+  void Prefetch(uint64_t offset) const;
 
  private:
   friend class MiniHdfs;
@@ -319,7 +388,11 @@ class FileReader {
 
   FileReader(const MiniHdfs* fs, std::string path,
              std::vector<BlockRef> blocks, uint64_t size, ReadContext context,
-             FaultInjector faults);
+             FaultInjector faults, std::shared_ptr<BlockCache> cache);
+
+  /// Index of the block containing file offset `offset` plus that block's
+  /// start offset; blocks_.size() when past EOF.
+  size_t BlockIndexOf(uint64_t offset, uint64_t* block_start) const;
 
   /// Serves [from, to) of one block (offsets block-relative), appending to
   /// *out, with replica selection, checksum verification, and failover.
@@ -332,6 +405,11 @@ class FileReader {
   ReadContext context_;
   uint64_t size_;
   FaultInjector faults_;
+  /// Cache snapshot taken at Open (null = filesystem has none attached).
+  std::shared_ptr<BlockCache> cache_;
+  /// First block index not yet considered by Prefetch; advances
+  /// monotonically so repeated sequential fills don't re-issue tasks.
+  mutable size_t prefetch_next_block_ = 0;
   /// Running fault-draw counter: makes successive attempts draw fresh
   /// outcomes while staying a pure function of this reader's history.
   mutable uint64_t fault_draws_ = 0;
@@ -348,6 +426,12 @@ class FileReader {
   Counter* m_checksum_failures_;
   Counter* m_seeks_;
   Histogram* m_read_bytes_;
+  /// cif.prefetch.* — named for the columnar scan path that drives
+  /// prefetching (the knobs flow in from CIF scans via ReadContext).
+  Counter* m_prefetch_issued_;
+  Counter* m_prefetch_blocks_;
+  Counter* m_prefetch_bytes_;
+  Counter* m_prefetch_dropped_;
 };
 
 }  // namespace colmr

@@ -11,8 +11,23 @@ BufferedReader::BufferedReader(std::unique_ptr<FileReader> file,
       position_(0),
       buffer_start_(0) {}
 
-Status BufferedReader::Fill(size_t min_bytes) {
-  // Compact: drop bytes before the cursor.
+void BufferedReader::CompactToCursor() {
+  if (pin_ != nullptr) {
+    const uint64_t end = buffer_start_ + view_.size();
+    if (position_ >= end) {
+      buffer_.clear();
+    } else {
+      // Keep the un-consumed tail of the view: a value can straddle the
+      // cached block's end, so the bytes must survive the switch back to
+      // owned mode.
+      buffer_.assign(view_.data() + (position_ - buffer_start_),
+                     end - position_);
+    }
+    pin_.reset();
+    view_ = Slice();
+    buffer_start_ = position_;
+    return;
+  }
   if (position_ >= buffer_start_ + buffer_.size()) {
     buffer_.clear();
     buffer_start_ = position_;
@@ -20,12 +35,51 @@ Status BufferedReader::Fill(size_t min_bytes) {
     buffer_.erase(0, position_ - buffer_start_);
     buffer_start_ = position_;
   }
+}
+
+void BufferedReader::MaybePrefetch() {
+  // Two fills without an out-of-window reposition establish a sequential
+  // pattern; from then on keep the warm horizon ahead of the window.
+  if (sequential_fills_ < 2) return;
+  file_->Prefetch(buffer_start_ + window_size());
+}
+
+Status BufferedReader::Fill(size_t min_bytes) {
+  // Compact: drop bytes before the cursor.
+  CompactToCursor();
   const uint64_t fetch_from = buffer_start_ + buffer_.size();
   if (fetch_from >= file_->size()) return Status::OK();
   uint64_t want = std::max<uint64_t>(buffer_size_,
                                      min_bytes > buffer_.size()
                                          ? min_bytes - buffer_.size()
                                          : 0);
+  // Sequential readahead: widen the fill once the pattern is established,
+  // trading buffered bytes for fewer positioned reads.
+  const uint64_t readahead = file_->readahead_bytes();
+  if (readahead > want && sequential_fills_ >= 1) want = readahead;
+  if (buffer_.empty()) {
+    // Zero-copy fast path: serve the window straight out of a cached
+    // block. Only adopted when it satisfies this fill in one piece; a
+    // range crossing the block boundary falls through to the copying
+    // read below (which can span blocks).
+    const uint64_t needed =
+        std::min<uint64_t>(min_bytes, file_->size() - fetch_from);
+    Slice view;
+    std::shared_ptr<const std::string> pin;
+    if (file_->TryReadView(fetch_from, want, &view, &pin) &&
+        view.size() >= needed) {
+      pin_ = std::move(pin);
+      view_ = view;
+      if (!ever_read_) {
+        ever_read_ = true;
+        if (file_->stats() != nullptr) file_->stats()->seeks += 1;
+        file_->CountSeek();
+      }
+      ++sequential_fills_;
+      MaybePrefetch();
+      return Status::OK();
+    }
+  }
   std::string chunk;
   COLMR_RETURN_IF_ERROR(file_->Read(fetch_from, want, &chunk));
   if (!ever_read_) {
@@ -35,34 +89,38 @@ Status BufferedReader::Fill(size_t min_bytes) {
     file_->CountSeek();
   }
   buffer_.append(chunk);
+  ++sequential_fills_;
+  MaybePrefetch();
   return Status::OK();
 }
 
 Status BufferedReader::Peek(size_t n, Slice* out) {
-  const size_t have = buffer_start_ + buffer_.size() > position_
-                          ? buffer_start_ + buffer_.size() - position_
-                          : 0;
+  const uint64_t window_end = buffer_start_ + window_size();
+  const size_t have = window_end > position_ ? window_end - position_ : 0;
   if (have < n) {
     COLMR_RETURN_IF_ERROR(Fill(n));
   }
   const size_t offset = position_ - buffer_start_;
-  *out = Slice(buffer_.data() + offset, buffer_.size() - offset);
+  *out = Slice(window_data() + offset, window_size() - offset);
   return Status::OK();
 }
 
 void BufferedReader::Consume(size_t n) { position_ += n; }
 
 Status BufferedReader::Seek(uint64_t offset) {
-  if (offset >= buffer_start_ && offset <= buffer_start_ + buffer_.size()) {
+  if (offset >= buffer_start_ && offset <= buffer_start_ + window_size()) {
     position_ = offset;
     return Status::OK();
   }
   // Out-of-window reposition: charge a seek and discard the buffer.
   // Bytes already prefetched stay charged — that waste is the point of
   // modelling reads at io.file.buffer.size granularity.
+  pin_.reset();
+  view_ = Slice();
   buffer_.clear();
   buffer_start_ = offset;
   position_ = offset;
+  sequential_fills_ = 0;
   if (ever_read_) {
     if (file_->stats() != nullptr) file_->stats()->seeks += 1;
     file_->CountSeek();
@@ -72,7 +130,7 @@ Status BufferedReader::Seek(uint64_t offset) {
 
 Status BufferedReader::Skip(uint64_t n) {
   const uint64_t target = std::min(position_ + n, file_->size());
-  const uint64_t buffered_end = buffer_start_ + buffer_.size();
+  const uint64_t buffered_end = buffer_start_ + window_size();
   if (target <= buffered_end) {
     position_ = target;
     return Status::OK();
@@ -82,6 +140,13 @@ Status BufferedReader::Skip(uint64_t n) {
   // and charged, but no seek is incurred. Only skips landing well beyond
   // the next prefetch window become a true seek that saves I/O.
   if (target - buffered_end <= 2 * buffer_size_) {
+    pin_.reset();
+    view_ = Slice();
+    if (buffered_end > buffer_start_ + buffer_.size()) {
+      // The window was a pinned view; the owned buffer is stale.
+      buffer_.clear();
+      buffer_start_ = buffered_end;
+    }
     uint64_t fetch_from = buffered_end;
     while (fetch_from < target && fetch_from < file_->size()) {
       std::string chunk;
@@ -117,7 +182,10 @@ Status BufferedReader::ReadFixed32(uint32_t* value) {
 
 Status BufferedReader::ReadBytes(size_t n, std::string* out) {
   out->clear();
-  n = std::min<uint64_t>(n, Remaining());
+  if (n > Remaining()) {
+    return Status::Corruption("truncated read: want " + std::to_string(n) +
+                              " bytes, file has " + std::to_string(Remaining()));
+  }
   Slice view;
   COLMR_RETURN_IF_ERROR(Peek(n, &view));
   if (view.size() < n) return Status::Corruption("short read");

@@ -17,6 +17,15 @@ namespace colmr {
 /// prefetch amplification: a 2 KB column chunk still costs a full buffer
 /// fetch. This is the mechanism behind the paper's observation that RCFile
 /// reads 20x more bytes than CIF when projecting one column (Section 6.2).
+///
+/// Cache integration (DESIGN.md §9): when the underlying FileReader has a
+/// block cache attached, fills landing inside a cached block are served
+/// as a pinned zero-copy view of the cached bytes instead of a copy into
+/// the owned buffer. Two knobs ride in through the FileReader's
+/// ReadContext: `readahead_bytes` widens sequential fills beyond the
+/// buffer size, and `prefetch_depth` schedules asynchronous warming of
+/// upcoming blocks once the access pattern looks sequential (two fills
+/// without an out-of-window reposition).
 class BufferedReader {
  public:
   /// buffer_size == 0 uses the filesystem's configured io_buffer_size.
@@ -51,18 +60,44 @@ class BufferedReader {
   // Convenience decoders over Peek/Consume.
   Status ReadVarint64(uint64_t* value);
   Status ReadFixed32(uint32_t* value);
-  /// Reads exactly min(n, Remaining()) bytes into *out (replaced).
+  /// Reads exactly n bytes into *out (replaced). A request extending past
+  /// end-of-file is Corruption — callers pass lengths decoded from file
+  /// headers, so a short read means the file is truncated, and silently
+  /// clamping would mask that as success.
   Status ReadBytes(size_t n, std::string* out);
 
  private:
   Status Fill(size_t min_bytes);
+  /// Collapses the current window (owned or pinned) so it starts at the
+  /// cursor, switching back to owned mode and keeping un-consumed bytes.
+  void CompactToCursor();
+  /// Issues async warming of blocks past the window once the access
+  /// pattern is sequential.
+  void MaybePrefetch();
+
+  // Window accessors: the buffered bytes span
+  // [buffer_start_, buffer_start_ + window_size()), backed either by the
+  // owned buffer_ or by a pinned cache block (zero-copy).
+  const char* window_data() const {
+    return pin_ != nullptr ? view_.data() : buffer_.data();
+  }
+  size_t window_size() const {
+    return pin_ != nullptr ? view_.size() : buffer_.size();
+  }
 
   std::unique_ptr<FileReader> file_;
   uint64_t buffer_size_;
   uint64_t position_;       // logical cursor in the file
-  uint64_t buffer_start_;   // file offset of buffer_[0]
-  std::string buffer_;
+  uint64_t buffer_start_;   // file offset of window_data()[0]
+  std::string buffer_;      // owned-mode storage
+  /// Pinned-mode state: pin_ keeps the cached block alive while view_
+  /// points into it. pin_ == nullptr means owned mode.
+  std::shared_ptr<const std::string> pin_;
+  Slice view_;
   bool ever_read_ = false;
+  /// Consecutive forward fills without an out-of-window reposition; >= 2
+  /// marks the stream sequential for readahead/prefetch purposes.
+  uint64_t sequential_fills_ = 0;
 };
 
 }  // namespace colmr

@@ -252,6 +252,20 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     return Status::InvalidArgument("job has no mapper");
   }
   metrics->counter("mr.job.runs")->Increment();
+
+  // ---- Block cache + prefetch (DESIGN.md §9): attach the shared cache
+  // (idempotent, so repeated jobs share one warm cache) and stand up the
+  // dedicated warm-task pool. Prefetch must NOT share the map-task pool:
+  // its FIFO queue would order warm tasks after every queued map task,
+  // by which time the scan they were meant to overlap has finished.
+  if (job.config.cache_bytes > 0) {
+    fs_->EnsureBlockCache(job.config.cache_bytes, metrics);
+  }
+  std::unique_ptr<ThreadPool> prefetch_pool;
+  if (job.config.cache_bytes > 0 && job.config.prefetch_depth > 0) {
+    prefetch_pool = std::make_unique<ThreadPool>(2);
+  }
+
   Counter* m_tasks_launched = metrics->counter("mr.task.launched");
   Counter* m_task_retries = metrics->counter("mr.task.retries");
   Counter* m_nodes_blacklisted = metrics->counter("mr.node.blacklisted");
@@ -264,6 +278,7 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     ReadContext plan_context;
     plan_context.metrics = metrics;
     plan_context.trace = trace;
+    plan_context.readahead_bytes = job.config.readahead_bytes;
     COLMR_RETURN_IF_ERROR(
         job.input_format->GetSplits(fs_, job.config, plan_context, &splits));
     if (plan_span.active()) {
@@ -340,6 +355,9 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
                         static_cast<uint64_t>(i) * 131 +
                             static_cast<uint64_t>(attempt),
                         metrics, trace};
+    context.readahead_bytes = job.config.readahead_bytes;
+    context.prefetch_depth = job.config.prefetch_depth;
+    context.prefetch_pool = prefetch_pool.get();
     std::unique_ptr<RecordReader> reader;
     Status status = job.input_format->CreateRecordReader(
         fs_, job.config, splits[i], context, &reader);

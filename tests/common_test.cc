@@ -124,6 +124,48 @@ TEST(CodingTest, OverlongVarintIsCorruption) {
   EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
 }
 
+TEST(CodingTest, TenByteVarintBoundary) {
+  // UINT64_MAX is the largest canonical 10-byte varint: nine 0xff
+  // continuation bytes carrying bits 0..62, then 0x01 for bit 63.
+  const std::string max_encoding(9, '\xff');
+  {
+    std::string bytes = max_encoding + '\x01';
+    Slice s(bytes);
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&s, &v).ok());
+    EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+    EXPECT_TRUE(s.empty());
+  }
+  // A 10th byte with any payload bit above bit 63 encodes a value that
+  // cannot fit in 64 bits; the pre-fix decoder shifted those bits away and
+  // decoded this as 0 (aliasing distinct byte strings). Must be rejected.
+  {
+    std::string bytes = max_encoding + '\x02';
+    Slice s(bytes);
+    uint64_t v = 0;
+    Status status = GetVarint64(&s, &v);
+    EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+    EXPECT_NE(status.ToString().find("varint overflow"), std::string::npos)
+        << status.ToString();
+  }
+  // Mixed payload-and-continuation in the 10th byte is also overflow, even
+  // though an 11th byte follows.
+  {
+    std::string bytes = max_encoding + '\x83' + '\x00';
+    Slice s(bytes);
+    uint64_t v = 0;
+    EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
+  }
+  // 11-byte input (10 continuation bytes) stays corruption.
+  {
+    std::string bytes(10, '\x81');
+    bytes += '\x00';
+    Slice s(bytes);
+    uint64_t v = 0;
+    EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
+  }
+}
+
 TEST(CodingTest, Varint32Overflow) {
   Buffer b;
   PutVarint64(&b, 1ull << 33);
@@ -148,6 +190,38 @@ TEST(CodingTest, FixedAndDouble) {
   EXPECT_EQ(v64, 0x0123456789ABCDEFull);
   EXPECT_DOUBLE_EQ(d, 3.14159);
   EXPECT_TRUE(s.empty());
+}
+
+TEST(CodingTest, FixedWidthGoldenBytes) {
+  // Pins the wire layout: fixed-width integers are little-endian byte
+  // sequences regardless of host endianness. A big-endian host memcpy
+  // would reverse these and silently break on-disk image portability.
+  Buffer b;
+  PutFixed32(&b, 0x01020304u);
+  PutFixed64(&b, 0x1122334455667788ull);
+  const unsigned char expected[] = {0x04, 0x03, 0x02, 0x01,                  //
+                                    0x88, 0x77, 0x66, 0x55,                  //
+                                    0x44, 0x33, 0x22, 0x11};
+  ASSERT_EQ(b.size(), sizeof(expected));
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(b.AsSlice()[i]), expected[i])
+        << "byte " << i;
+  }
+  Slice s = b.AsSlice();
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&s, &v32).ok());
+  ASSERT_TRUE(GetFixed64(&s, &v64).ok());
+  EXPECT_EQ(v32, 0x01020304u);
+  EXPECT_EQ(v64, 0x1122334455667788ull);
+}
+
+TEST(CodingTest, VarintGoldenBytes) {
+  Buffer b;
+  PutVarint64(&b, 300);  // 0xAC 0x02: LEB128 low-7-bits-first
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(b.AsSlice()[0]), 0xACu);
+  EXPECT_EQ(static_cast<unsigned char>(b.AsSlice()[1]), 0x02u);
 }
 
 TEST(CodingTest, LengthPrefixed) {
@@ -183,7 +257,9 @@ TEST_P(VarintRoundTripTest, RandomRoundTrips) {
     const uint64_t v = rng.Next() >> shift;
     values.push_back(v);
     PutVarint64(&b, v);
-    PutZigZag64(&b, static_cast<int64_t>(v) - static_cast<int64_t>(rng.Next()));
+    // Subtract as uint64 (wrapping): the difference of two random 64-bit
+    // values overflows int64, which is UB in signed arithmetic.
+    PutZigZag64(&b, static_cast<int64_t>(v - rng.Next()));
   }
   Slice s = b.AsSlice();
   Random rng2(shift * 7919 + 1);

@@ -304,11 +304,34 @@ TEST(BufferedReaderTest, VarintAndBytesHelpers) {
   std::string tail;
   ASSERT_TRUE(reader.ReadVarint64(&v).ok());
   ASSERT_TRUE(reader.ReadFixed32(&f).ok());
-  ASSERT_TRUE(reader.ReadBytes(10, &tail).ok());
+  ASSERT_TRUE(reader.ReadBytes(4, &tail).ok());
   EXPECT_EQ(v, 300u);
   EXPECT_EQ(f, 77u);
   EXPECT_EQ(tail, "tail");
   EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BufferedReaderTest, ReadBytesPastEndIsCorruption) {
+  auto fs = MakeFs();
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/f", &writer).ok());
+  writer->Append(Slice("0123456789"));
+  writer->Close();
+
+  std::unique_ptr<FileReader> raw;
+  ASSERT_TRUE(fs->Open("/f", ReadContext{}, &raw).ok());
+  BufferedReader reader(std::move(raw), 0);
+  std::string head;
+  ASSERT_TRUE(reader.ReadBytes(6, &head).ok());
+  EXPECT_EQ(head, "012345");
+  // A length decoded from a (truncated) header that runs past EOF must
+  // surface as Corruption, not a silently short success.
+  std::string tail;
+  Status s = reader.ReadBytes(10, &tail);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  // The cursor did not move: the remaining bytes are still readable.
+  ASSERT_TRUE(reader.ReadBytes(4, &tail).ok());
+  EXPECT_EQ(tail, "6789");
 }
 
 TEST(CostModelTest, TaskSecondsComposesTerms) {

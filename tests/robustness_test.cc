@@ -116,6 +116,101 @@ TEST(CorruptionTest, FlippedCompressedBits) {
   }
 }
 
+// Truncation at EVERY byte offset must be reported, not crash and not
+// silently succeed: all three stream formats declare their full extent up
+// front (raw size for the codecs, entry count for the dictionary), so a
+// stream missing its tail is always detectably corrupt.
+TEST(CorruptionTest, TruncatedCompressedStreamsAlwaysError) {
+  Random rng(91);
+  std::string payload;
+  for (int i = 0; i < 250; ++i) payload += rng.NextWord(8) + ' ';
+  for (CodecType type : {CodecType::kLzf, CodecType::kZlite}) {
+    const Codec* codec = GetCodec(type);
+    Buffer compressed;
+    ASSERT_TRUE(codec->Compress(payload, &compressed).ok());
+    ASSERT_GT(compressed.size(), 1u);
+    for (size_t cut = 0; cut < compressed.size(); ++cut) {
+      Buffer out;
+      Status s = codec->Decompress(Slice(compressed.data(), cut), &out);
+      EXPECT_FALSE(s.ok()) << "codec " << static_cast<int>(type)
+                           << " accepted a stream truncated at " << cut
+                           << " of " << compressed.size();
+    }
+    // The untruncated stream still round-trips.
+    Buffer out;
+    ASSERT_TRUE(codec->Decompress(compressed.AsSlice(), &out).ok());
+    EXPECT_EQ(out.str(), payload);
+  }
+}
+
+TEST(CorruptionTest, TruncatedDictionaryAlwaysErrors) {
+  Random rng(17);
+  StringDictionary dict;
+  for (int i = 0; i < 64; ++i) dict.Intern(rng.NextWord(9));
+  Buffer serialized;
+  dict.Serialize(&serialized);
+  ASSERT_EQ(serialized.size(), dict.SerializedSize());
+  for (size_t cut = 0; cut < serialized.size(); ++cut) {
+    StringDictionary parsed;
+    Slice cursor(serialized.data(), cut);
+    Status s = parsed.Deserialize(&cursor);
+    EXPECT_FALSE(s.ok()) << "dictionary truncated at " << cut << " of "
+                         << serialized.size();
+  }
+  StringDictionary parsed;
+  Slice cursor = serialized.AsSlice();
+  ASSERT_TRUE(parsed.Deserialize(&cursor).ok());
+  EXPECT_EQ(parsed.size(), dict.size());
+}
+
+// LZF boundary conditions: match lengths straddling the 264-byte cap and
+// back-references at exactly the 8 KiB window edge. A length mis-encode
+// would corrupt runs; an off-by-one on distance would either miss the
+// match (harmless) or reach outside the window (corrupt).
+TEST(EdgeCaseTest, LzfWindowAndMatchBoundaryRoundTrips) {
+  const Codec* codec = GetCodec(CodecType::kLzf);
+  const size_t kWindow = 8192;
+  const size_t kMaxMatch = 264;
+  std::vector<std::string> payloads;
+  // Runs around the minimum and maximum match lengths.
+  for (size_t n : {size_t{2}, size_t{3}, size_t{4}, kMaxMatch - 1, kMaxMatch,
+                   kMaxMatch + 1, 2 * kMaxMatch, 2 * kMaxMatch + 3}) {
+    payloads.push_back(std::string(n, 'x'));
+  }
+  // A maximal-length match at a large distance: the same 264-byte pattern
+  // twice, separated by incompressible filler.
+  Random rng(3);
+  std::string pattern;
+  for (size_t i = 0; i < kMaxMatch; ++i) {
+    pattern.push_back(static_cast<char>('A' + (i * 17) % 26));
+  }
+  for (size_t gap : {size_t{0}, size_t{100}, kWindow - pattern.size(),
+                     kWindow - pattern.size() + 1, kWindow + 1}) {
+    std::string filler;
+    for (size_t i = 0; i < gap; ++i) {
+      filler.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    payloads.push_back(pattern + filler + pattern);
+  }
+  // Repeats at exactly the window edge and one past it (the latter must
+  // not be emitted as a match; round-trip still must hold).
+  for (size_t distance : {kWindow - 1, kWindow, kWindow + 1}) {
+    std::string head = "0123456789abcdef";
+    std::string body;
+    while (head.size() + body.size() < distance) {
+      body.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    payloads.push_back(head + body.substr(0, distance - head.size()) + head);
+  }
+  for (const std::string& payload : payloads) {
+    Buffer compressed, out;
+    ASSERT_TRUE(codec->Compress(payload, &compressed).ok());
+    ASSERT_TRUE(codec->Decompress(compressed.AsSlice(), &out).ok())
+        << "payload size " << payload.size();
+    EXPECT_EQ(out.str(), payload) << "payload size " << payload.size();
+  }
+}
+
 TEST(CorruptionTest, TruncatedColumnFilesFailCleanly) {
   auto fs = MakeFs();
   for (ColumnLayout layout :

@@ -1,25 +1,28 @@
 #!/usr/bin/env bash
-# CI entry point: builds and runs the full test suite three ways —
+# CI entry point: builds and runs the full test suite four ways —
 # plain, under ThreadSanitizer (the parallel engine's data-race gate),
-# and under AddressSanitizer. Usage:
+# under AddressSanitizer, and under UndefinedBehaviorSanitizer (the
+# decode-path gate: shifts/overflows on untrusted bytes). Usage:
 #
-#   tools/check.sh            # all three configurations
+#   tools/check.sh            # all four configurations
 #   tools/check.sh plain      # just the normal build
 #   tools/check.sh thread     # just the TSan build
 #   tools/check.sh address    # just the ASan build
+#   tools/check.sh undefined  # just the UBSan build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-if [[ $# -gt 0 ]]; then MODES=("$@"); else MODES=(plain thread address); fi
+if [[ $# -gt 0 ]]; then MODES=("$@"); else MODES=(plain thread address undefined); fi
 
 run_mode() {
   local mode="$1" dir sanitize
   case "$mode" in
-    plain)   dir=build          sanitize="" ;;
-    thread)  dir=build-tsan     sanitize=thread ;;
-    address) dir=build-asan     sanitize=address ;;
-    *) echo "unknown mode: $mode (want plain|thread|address)" >&2; exit 2 ;;
+    plain)     dir=build        sanitize="" ;;
+    thread)    dir=build-tsan   sanitize=thread ;;
+    address)   dir=build-asan   sanitize=address ;;
+    undefined) dir=build-ubsan  sanitize=undefined ;;
+    *) echo "unknown mode: $mode (want plain|thread|address|undefined)" >&2; exit 2 ;;
   esac
   echo "=== [$mode] configure + build ($dir) ==="
   cmake -B "$dir" -S . -DCOLMR_SANITIZE="$sanitize" \

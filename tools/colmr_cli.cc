@@ -19,9 +19,13 @@
 //                                               inject transient read
 //                                               errors with probability p
 //   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
+//               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
 //                                               run a scan job and dump the
 //                                               metrics delta it produced
+//                                               (cache/readahead knobs:
+//                                               DESIGN.md §9)
 //   colmr trace <image> <dataset> <out.json> [--lazy] [--project=c1,c2]
+//               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
 //                                               run a scan job and write its
 //                                               span timeline as Chrome
 //                                               trace_event JSON (open at
@@ -428,6 +432,10 @@ struct ScanJobFlags {
   bool lazy = false;
   std::vector<std::string> projection;
   std::vector<std::string> positional;
+  // Block cache / readahead knobs (DESIGN.md §9).
+  uint64_t cache_mb = 0;
+  uint64_t readahead_kb = 0;
+  int prefetch_depth = 0;
 };
 
 ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
@@ -438,6 +446,12 @@ ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
       flags.json = true;
     } else if (arg == "--lazy") {
       flags.lazy = true;
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      flags.cache_mb = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--readahead-kb=", 0) == 0) {
+      flags.readahead_kb = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    } else if (arg.rfind("--prefetch-depth=", 0) == 0) {
+      flags.prefetch_depth = std::atoi(arg.c_str() + 17);
     } else if (arg.rfind("--project=", 0) == 0) {
       std::string cols = arg.substr(10);
       size_t start = 0;
@@ -465,6 +479,9 @@ Status RunScanJob(MiniHdfs* fs, const std::string& path,
   job.config.lazy_records = flags.lazy;
   job.config.projection = flags.projection;
   job.config.trace_path = trace_path;
+  job.config.cache_bytes = flags.cache_mb << 20;
+  job.config.readahead_bytes = flags.readahead_kb << 10;
+  job.config.prefetch_depth = flags.prefetch_depth;
   COLMR_RETURN_IF_ERROR(
       DetectInputFormat(fs, path, &job.input_format, nullptr));
   job.mapper = [](Record&, Emitter*) {};
