@@ -10,10 +10,12 @@
 // work per task); on an N-core box expect ~min(threads, N)x until task
 // granularity or the slot gate dominates.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "bench/datasets.h"
@@ -27,8 +29,25 @@ namespace {
 
 using bench::Die;
 
-constexpr uint64_t kBaseRecords = 8000;
+// Sized so one map task does ~1-2 ms of real decode + filter work: small
+// tasks drown in thread-pool handoff and the bench reads as a scaling
+// cliff (speedup < 1) that the engine does not have. 8000 records across
+// 256 KB splits produced 87 tasks of ~0.2 ms each and 4-thread "speedup"
+// of 0.6x; 24000 records across 1 MB splits keep >20 tasks while giving
+// each one enough work to dominate the handoff.
+constexpr uint64_t kBaseRecords = 24000;
 constexpr uint64_t kSeed = bench::kDatasetSeed;
+
+// Sanity bounds, recorded in the JSON so a regression (or an under-sized
+// COLMR_BENCH_SCALE) is visible without eyeballing the table. The bound
+// is relative to the machine: with >1 cores, every thread count up to
+// kSaneThreads must beat the serial run; on a single-core box the best
+// possible wall-clock speedup is 1.0x, so the bound degrades to "the
+// thread pool must not cost more than a quarter over serial" (single-core
+// timer noise at these wall times is ~10%, so the floor leaves headroom).
+constexpr int kSaneThreads = 4;
+constexpr double kSaneSpeedupFloor = 1.0;
+constexpr double kSingleCoreOverheadFloor = 0.75;
 
 }  // namespace
 }  // namespace colmr
@@ -44,7 +63,7 @@ int main() {
 
   Schema::Ptr schema = CrawlSchema();
   CofOptions options;
-  options.split_target_bytes = 256 * 1024;  // many splits → many map tasks
+  options.split_target_bytes = 1024 * 1024;  // many splits → many map tasks
   std::unique_ptr<CofWriter> writer;
   Die(CofWriter::Open(fs.get(), "/data", schema, options, &writer), "cof");
 
@@ -77,6 +96,12 @@ int main() {
   bench_report.Config("records", records);
   bench_report.Config("workload", "crawl/compact-content");
   bench_report.Config("stored_bytes", fs->TotalStoredBytes());
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const double floor =
+      cores > 1 ? kSaneSpeedupFloor : kSingleCoreOverheadFloor;
+  bench_report.Config("cores", static_cast<uint64_t>(cores));
+  bench_report.Config("sane_threads", kSaneThreads);
+  bench_report.Config("sane_speedup_floor", floor);
 
   std::printf("=== Parallel engine scaling: Table 1 scan workload ===\n");
   std::printf("%-10s %8s %10s %10s %12s\n", "threads", "tasks", "wall(s)",
@@ -108,15 +133,20 @@ int main() {
                     report.output[i].second.Compare(serial_output[i].second) == 0;
       }
     }
-    std::printf("%-10d %8zu %10.3f %9.2fx %12s\n", report.worker_threads,
-                report.map_tasks.size(), wall, serial_wall / wall,
-                identical ? "yes" : "NO");
+    const double speedup = serial_wall / wall;
+    const bool sane =
+        threads == 1 || threads > kSaneThreads || speedup > floor;
+    std::printf("%-10d %8zu %10.3f %9.2fx %12s%s\n", report.worker_threads,
+                report.map_tasks.size(), wall, speedup,
+                identical ? "yes" : "NO",
+                sane ? "" : "  <-- BELOW SANITY FLOOR");
     bench_report.AddRow()
         .Set("threads", report.worker_threads)
         .Set("tasks", static_cast<uint64_t>(report.map_tasks.size()))
         .Set("wall_seconds", wall)
-        .Set("speedup", serial_wall / wall)
-        .Set("output_matches_serial", identical);
+        .Set("speedup", speedup)
+        .Set("output_matches_serial", identical)
+        .Set("sane", sane);
   }
   bench_report.Write();
   std::printf(

@@ -80,9 +80,19 @@ inline ScanResult ScanDataset(MiniHdfs* fs, InputFormat* format,
       std::fprintf(stderr, "CreateRecordReader: %s\n", s.ToString().c_str());
       std::abort();
     }
-    while (reader->Next()) {
-      consume(reader->record());
-      ++result.records;
+    if (config.batch_rows <= 1) {
+      while (reader->Next()) {
+        consume(reader->record());
+        ++result.records;
+      }
+    } else {
+      uint64_t filled;
+      while ((filled = reader->FillBatch(config.batch_rows)) > 0) {
+        for (uint64_t r = 0; r < filled; ++r) {
+          consume(reader->RecordAt(r));
+        }
+        result.records += filled;
+      }
     }
     if (!reader->status().ok()) {
       std::fprintf(stderr, "scan: %s\n", reader->status().ToString().c_str());

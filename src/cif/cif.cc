@@ -68,6 +68,70 @@ class NullPaddingRecord final : public Record {
   Value null_;
 };
 
+/// Record view over one row of the resident RowBatch (eager batch path).
+/// Get() materializes only the fields the map function touches, serving
+/// boxed values (array/map/record) by pointer straight out of the batch
+/// lane. Unprojected fields answer Null with OK, exactly like the scalar
+/// EagerRecord whose value vector defaults untouched slots to Null.
+class BatchRecord final : public Record {
+ public:
+  BatchRecord(Schema::Ptr schema, const std::vector<int>& projection,
+              RowBatch* batch)
+      : schema_(std::move(schema)), batch_(batch) {
+    field_to_column_.assign(schema_->fields().size(), -1);
+    for (size_t p = 0; p < projection.size(); ++p) {
+      field_to_column_[projection[p]] = static_cast<int>(p);
+    }
+    lanes_.resize(projection.size());
+  }
+
+  void SetRow(uint64_t row) { row_ = row; }
+
+  const Schema& schema() const override { return *schema_; }
+
+  Status Get(std::string_view name, const Value** value) override {
+    const int index = schema_->FieldIndex(std::string(name));
+    if (index < 0) {
+      return Status::NotFound("no such field: " + std::string(name));
+    }
+    const int column = field_to_column_[index];
+    if (column < 0) {
+      *value = &null_;
+      return Status::OK();
+    }
+    const ColumnBatch& batch = batch_->columns[column];
+    if (batch.is_boxed()) {
+      *value = batch.BoxedAt(row_);
+      return Status::OK();
+    }
+    Lane& lane = lanes_[column];
+    if (lane.row != row_) {
+      batch.MaterializeInto(row_, &lane.scratch);
+      lane.row = row_;
+    }
+    *value = &lane.scratch;
+    return Status::OK();
+  }
+
+  /// Invalidates the per-row scratch cache; called when the batch refills.
+  void InvalidateCache() {
+    for (Lane& lane : lanes_) lane.row = UINT64_MAX;
+  }
+
+ private:
+  struct Lane {
+    Value scratch;
+    uint64_t row = UINT64_MAX;
+  };
+
+  Schema::Ptr schema_;
+  RowBatch* batch_;
+  std::vector<int> field_to_column_;  // field index -> projection position
+  std::vector<Lane> lanes_;
+  uint64_t row_ = 0;
+  Value null_;
+};
+
 class CifRecordReader final : public RecordReader {
  public:
   CifRecordReader(Schema::Ptr schema, std::vector<int> projection,
@@ -95,12 +159,76 @@ class CifRecordReader final : public RecordReader {
     lazy_record_ = std::make_unique<LazyRecord>(
         schema_, std::move(by_field),
         metrics->counter("cif.lazy.field_reads"));
+    row_batch_.columns.resize(projection_.size());
+    column_status_.resize(projection_.size());
+    batch_record_ =
+        std::make_unique<BatchRecord>(schema_, projection_, &row_batch_);
     if (!missing_columns.empty()) {
       eager_padded_ = std::make_unique<NullPaddingRecord>(&eager_record_,
+                                                          missing_columns);
+      batch_padded_ = std::make_unique<NullPaddingRecord>(batch_record_.get(),
                                                           missing_columns);
       lazy_padded_ = std::make_unique<NullPaddingRecord>(
           lazy_record_.get(), std::move(missing_columns));
     }
+  }
+
+  uint64_t FillBatch(uint64_t max_rows) override {
+    if (!status_.ok() || max_rows == 0) return 0;
+    if (!pending_batch_error_.ok()) {
+      // A column failed mid-way through the previous batch: its good
+      // prefix has been served, so the error surfaces now.
+      status_ = pending_batch_error_;
+      return 0;
+    }
+    const uint64_t next_row = static_cast<uint64_t>(row_ + 1);
+    if (next_row >= row_count_) return 0;
+    const uint64_t k = std::min(max_rows, row_count_ - next_row);
+    batch_start_row_ = next_row;
+    if (lazy_) {
+      // Laziness survives batching: nothing is decoded here. Columns the
+      // map function touches decode ahead to the window end on first Get.
+      lazy_record_->SetBatchWindow(next_row, k);
+      row_ += k;
+      m_records_->Increment(k);
+      return k;
+    }
+    // Eager: bulk-decode every projected column. On error a column stops
+    // early; serve the common prefix and surface the error that the
+    // scalar path would have hit first (lowest row, then column order).
+    uint64_t served = k;
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      column_status_[p] = columns_[p]->NextBatch(k, &row_batch_.columns[p]);
+      const uint64_t got = row_batch_.columns[p].size();
+      if (got < served) served = got;
+    }
+    Status pending;
+    for (size_t p = 0; p < projection_.size() && pending.ok(); ++p) {
+      if (!column_status_[p].ok() && row_batch_.columns[p].size() == served) {
+        pending = column_status_[p];
+      }
+    }
+    row_batch_.rows = served;
+    batch_record_->InvalidateCache();
+    if (!pending.ok() && served == 0) {
+      status_ = pending;
+      return 0;
+    }
+    pending_batch_error_ = pending;
+    row_ += served;
+    m_records_->Increment(served);
+    return served;
+  }
+
+  Record& RecordAt(uint64_t i) override {
+    if (lazy_) {
+      lazy_record_->AdvanceTo(batch_start_row_ + i);
+      return lazy_padded_ ? static_cast<Record&>(*lazy_padded_)
+                          : *lazy_record_;
+    }
+    batch_record_->SetRow(i);
+    return batch_padded_ ? static_cast<Record&>(*batch_padded_)
+                         : *batch_record_;
   }
 
   bool Next() override {
@@ -146,6 +274,14 @@ class CifRecordReader final : public RecordReader {
   std::unique_ptr<NullPaddingRecord> eager_padded_;
   std::unique_ptr<NullPaddingRecord> lazy_padded_;
   Status status_;
+
+  // Batch-path state (DESIGN.md §10).
+  RowBatch row_batch_;
+  std::unique_ptr<BatchRecord> batch_record_;
+  std::unique_ptr<NullPaddingRecord> batch_padded_;
+  std::vector<Status> column_status_;
+  uint64_t batch_start_row_ = 0;
+  Status pending_batch_error_;
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "cif/column_format.h"
 #include "common/coding.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/encoding.h"
 
 namespace colmr {
@@ -69,6 +70,7 @@ Status ColumnFileReader::Open(MiniHdfs* fs, const std::string& path,
       metrics.counter("cif.scan.blocks_decompressed");
   result->m_decompressed_bytes_ =
       metrics.counter("cif.scan.decompressed_bytes");
+  result->trace_ = context.trace;
   COLMR_RETURN_IF_ERROR(result->ParseHeader());
   *reader = std::move(result);
   return Status::OK();
@@ -227,6 +229,155 @@ Status ColumnFileReader::ReadValue(Value* out) {
   if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
   m_values_read_->Increment();
   return Status::OK();
+}
+
+Status ColumnFileReader::DecodeSegmentBatch(uint64_t count,
+                                            ColumnBatch* batch) {
+  uint64_t left = count;
+  size_t window = 4096;
+  while (left > 0) {
+    Slice view;
+    COLMR_RETURN_IF_ERROR(input_->Peek(window, &view));
+    Slice cursor = view;
+    // A pinned window is an immutable cache block the batch can keep
+    // alive, so strings decode as zero-copy slices into it; the owned
+    // buffer is recycled by the next fill, so strings must be copied out.
+    std::shared_ptr<const std::string> pin = input_->PinnedWindow();
+    size_t got = 0;
+    Status s = DecodeColumnBatch(*type_, &cursor, left,
+                                 /*copy_strings=*/pin == nullptr, batch, &got);
+    if (got > 0 && pin != nullptr) batch->AddKeepalive(std::move(pin));
+    const size_t consumed = cursor.data() - view.data();
+    const size_t view_left = view.size() - consumed;
+    input_->Consume(consumed);
+    current_row_ += got;
+    left -= got;
+    m_values_read_->Increment(got);
+    if (s.ok()) continue;
+    // Same truncation-vs-corruption test as DecodeWithRetry: grow the
+    // window while the failure could be a value straddling its edge. The
+    // failing value saw view_left bytes; only if that already covered
+    // everything left in the file is the error real.
+    if (!s.IsCorruption() || view_left >= input_->Remaining()) {
+      return s;
+    }
+    if (got == 0) window *= 2;
+  }
+  return Status::OK();
+}
+
+Status ColumnFileReader::DecodeDcslSegmentBatch(uint64_t count,
+                                                ColumnBatch* batch) {
+  uint64_t left = count;
+  size_t window = 4096;
+  while (left > 0) {
+    Slice view;
+    COLMR_RETURN_IF_ERROR(input_->Peek(window, &view));
+    Slice cursor = view;
+    size_t got = 0;
+    Status s;
+    while (got < left) {
+      const Slice value_start = cursor;
+      uint64_t n_entries = 0;
+      s = GetVarint64(&cursor, &n_entries);
+      if (s.ok()) s = CheckContainerCount(n_entries, cursor.size());
+      Value::MapEntries entries;
+      if (s.ok()) {
+        dcsl_ids_.clear();
+        entries.reserve(n_entries);
+        for (uint64_t i = 0; i < n_entries && s.ok(); ++i) {
+          uint64_t id = 0;
+          s = GetVarint64(&cursor, &id);
+          if (s.ok() && id >= dict_.size()) {
+            s = Status::Corruption("cif column: dictionary id out of range");
+          }
+          if (!s.ok()) break;
+          dcsl_ids_.push_back(id);
+          Value v;
+          s = DecodeValue(*type_->element(), &cursor, &v);
+          if (!s.ok()) break;
+          entries.emplace_back(std::string(), std::move(v));
+        }
+      }
+      if (s.ok()) {
+        // Bulk id resolution: one pass over the collected ids.
+        dcsl_keys_.resize(dcsl_ids_.size());
+        s = dict_.LookupBulk(dcsl_ids_.data(), dcsl_ids_.size(),
+                             dcsl_keys_.data());
+        if (s.ok()) {
+          for (size_t i = 0; i < entries.size(); ++i) {
+            entries[i].first = *dcsl_keys_[i];
+          }
+        }
+      }
+      if (!s.ok()) {
+        cursor = value_start;
+        break;
+      }
+      batch->AppendBoxed(Value::Map(std::move(entries)));
+      ++got;
+    }
+    const size_t consumed = cursor.data() - view.data();
+    const size_t view_left = view.size() - consumed;
+    input_->Consume(consumed);
+    current_row_ += got;
+    left -= got;
+    m_values_read_->Increment(got);
+    if (s.ok()) continue;
+    if (!s.IsCorruption() || view_left >= input_->Remaining()) {
+      return s;
+    }
+    if (got == 0) window *= 2;
+  }
+  return Status::OK();
+}
+
+Status ColumnFileReader::NextBatch(uint64_t n, ColumnBatch* batch) {
+  batch->Reset(type_->kind());
+  uint64_t take = std::min(n, row_count_ - current_row_);
+  ScopedSpan span(trace_, "cif_next_batch", "cif");
+  if (span.active()) span.AddArg("rows", take);
+  switch (layout_) {
+    case ColumnLayout::kPlain:
+      return DecodeSegmentBatch(take, batch);
+    case ColumnLayout::kSkipList:
+    case ColumnLayout::kDictSkipList: {
+      while (take > 0) {
+        COLMR_RETURN_IF_ERROR(ConsumeBoundary());
+        const uint64_t to_boundary = kCifSkip0 - current_row_ % kCifSkip0;
+        const uint64_t seg = std::min(take, to_boundary);
+        if (layout_ == ColumnLayout::kSkipList) {
+          COLMR_RETURN_IF_ERROR(DecodeSegmentBatch(seg, batch));
+        } else {
+          COLMR_RETURN_IF_ERROR(DecodeDcslSegmentBatch(seg, batch));
+        }
+        take -= seg;
+        if (current_row_ % kCifSkip0 == 0) boundary_done_ = false;
+      }
+      return Status::OK();
+    }
+    case ColumnLayout::kCompressedBlocks: {
+      while (take > 0) {
+        if (!block_loaded_) {
+          COLMR_RETURN_IF_ERROR(LoadBlock());
+        }
+        const uint64_t seg = std::min(take, block_rows_left_);
+        size_t got = 0;
+        // The block is fully resident and decompressed, so any decode
+        // failure is real corruption, never truncation — no retry.
+        Status s = DecodeColumnBatch(*type_, &block_cursor_, seg,
+                                     /*copy_strings=*/true, batch, &got);
+        current_row_ += got;
+        block_rows_left_ -= got;
+        take -= got;
+        m_values_read_->Increment(got);
+        if (block_rows_left_ == 0) block_loaded_ = false;
+        COLMR_RETURN_IF_ERROR(s);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("cif column: unknown layout");
 }
 
 Status ColumnFileReader::SkipRows(uint64_t n) {

@@ -8,6 +8,7 @@
 #include "common/buffer.h"
 #include "compress/dictionary.h"
 #include "hdfs/reader.h"
+#include "serde/batch.h"
 #include "serde/schema.h"
 #include "serde/value.h"
 
@@ -39,6 +40,16 @@ class ColumnFileReader {
   /// Materializes the value at the current row and advances one row.
   Status ReadValue(Value* out);
 
+  /// Batch read (DESIGN.md §10): resets *batch and fills it with the next
+  /// min(n, remaining) rows, advancing the cursor past them. Plain and
+  /// skip-list layouts decode straight out of the buffered window — when
+  /// the window is a pinned cache block, strings are zero-copy slices
+  /// into it, kept alive by the batch. Returns OK with an empty batch at
+  /// end of column. On error, the batch holds the rows decoded before the
+  /// failing value (the cursor rests on it) and the status matches what
+  /// the scalar ReadValue would have returned at that row.
+  Status NextBatch(uint64_t n, ColumnBatch* batch);
+
   /// Advances n rows (clamped to the end) without materializing values.
   Status SkipRows(uint64_t n);
 
@@ -58,6 +69,11 @@ class ColumnFileReader {
   Status LoadBlock();
   Status ReadDcslValue(Value* out);
   Status SkipOneValue();
+  /// Batch helpers: windowed decode of `count` rows into *batch for the
+  /// uncompressed layouts (plain segment / skip-list segment / DCSL
+  /// segment respectively).
+  Status DecodeSegmentBatch(uint64_t count, ColumnBatch* batch);
+  Status DecodeDcslSegmentBatch(uint64_t count, ColumnBatch* batch);
 
   std::unique_ptr<BufferedReader> input_;
   Schema::Ptr type_;
@@ -78,6 +94,14 @@ class ColumnFileReader {
   Buffer block_;
   Slice block_cursor_;
   uint64_t block_rows_left_ = 0;
+
+  // Batch-path scratch (DCSL): reused across maps so the steady state
+  // allocates nothing.
+  std::vector<uint64_t> dcsl_ids_;
+  std::vector<const std::string*> dcsl_keys_;
+
+  // Span sink for NextBatch (nullptr = tracing off).
+  TraceCollector* trace_ = nullptr;
 
   // Metric handles resolved once at Open from the ReadContext registry
   // (cif.scan.* — the Figure 10 "row groups skipped / bytes not read"

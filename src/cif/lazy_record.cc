@@ -24,18 +24,45 @@ Status LazyRecord::Get(std::string_view name, const Value** value) {
     return Status::NotFound("field not in projection: " + std::string(name));
   }
   if (column.cached_row != cur_pos_) {
-    // lastPos (reader->current_row()) lags curPos by however many records
-    // the map function never touched; skip them in one jump.
-    const uint64_t last_pos = column.reader->current_row();
-    if (last_pos > cur_pos_) {
-      return Status::InvalidArgument("lazy record: column past cur_pos");
+    const bool in_window = win_rows_ > 0 && cur_pos_ >= win_start_ &&
+                           cur_pos_ < win_start_ + win_rows_;
+    const bool resident = in_window && cur_pos_ >= column.batch_start &&
+                          cur_pos_ < column.batch_start + column.batch.size();
+    if (in_window && !resident) {
+      // First touch of this column inside the batch window: skip to
+      // curPos, then decode ahead to the window's end in one call.
+      const uint64_t last_pos = column.reader->current_row();
+      if (last_pos > cur_pos_) {
+        return Status::InvalidArgument("lazy record: column past cur_pos");
+      }
+      COLMR_RETURN_IF_ERROR(column.reader->SkipRows(cur_pos_ - last_pos));
+      COLMR_RETURN_IF_ERROR(column.reader->NextBatch(
+          win_start_ + win_rows_ - cur_pos_, &column.batch));
+      column.batch_start = cur_pos_;
     }
-    COLMR_RETURN_IF_ERROR(column.reader->SkipRows(cur_pos_ - last_pos));
-    COLMR_RETURN_IF_ERROR(column.reader->ReadValue(&column.cached));
+    if (in_window) {
+      const size_t offset = static_cast<size_t>(cur_pos_ - column.batch_start);
+      if (column.batch.is_boxed()) {
+        column.cached_ptr = column.batch.BoxedAt(offset);
+      } else {
+        column.batch.MaterializeInto(offset, &column.cached);
+        column.cached_ptr = &column.cached;
+      }
+    } else {
+      // lastPos (reader->current_row()) lags curPos by however many
+      // records the map function never touched; skip them in one jump.
+      const uint64_t last_pos = column.reader->current_row();
+      if (last_pos > cur_pos_) {
+        return Status::InvalidArgument("lazy record: column past cur_pos");
+      }
+      COLMR_RETURN_IF_ERROR(column.reader->SkipRows(cur_pos_ - last_pos));
+      COLMR_RETURN_IF_ERROR(column.reader->ReadValue(&column.cached));
+      column.cached_ptr = &column.cached;
+    }
     column.cached_row = cur_pos_;
     if (field_reads_ != nullptr) field_reads_->Increment();
   }
-  *value = &column.cached;
+  *value = column.cached_ptr;
   return Status::OK();
 }
 

@@ -32,16 +32,34 @@ class LazyRecord final : public Record {
   void AdvanceTo(uint64_t row) { cur_pos_ = row; }
   uint64_t cur_pos() const { return cur_pos_; }
 
+  /// Declares the resident row window [start, start + rows) of the
+  /// enclosing batch (DESIGN.md §10). While a window is set, the first
+  /// Get() of a column inside it decodes that column in bulk to the
+  /// window's end — laziness stays column-granular (untouched columns
+  /// still skip), but a touched column pays one NextBatch instead of one
+  /// ReadValue per row. rows == 0 restores pure per-row laziness.
+  void SetBatchWindow(uint64_t start, uint64_t rows) {
+    win_start_ = start;
+    win_rows_ = rows;
+  }
+
  private:
   struct ColumnState {
     ColumnFileReader* reader = nullptr;
     Value cached;
     uint64_t cached_row = UINT64_MAX;
+    /// Points at `cached` or into `batch`; what Get() hands out.
+    const Value* cached_ptr = nullptr;
+    /// Rows [batch_start, batch_start + batch.size()) decoded ahead.
+    ColumnBatch batch;
+    uint64_t batch_start = 0;
   };
 
   Schema::Ptr schema_;
   std::vector<ColumnState> columns_;
   uint64_t cur_pos_ = 0;
+  uint64_t win_start_ = 0;
+  uint64_t win_rows_ = 0;
   Counter* field_reads_ = nullptr;
 };
 

@@ -57,7 +57,7 @@ void PutLengthPrefixed(Buffer* dst, Slice value) {
   dst->Append(value);
 }
 
-Status GetVarint64(Slice* input, uint64_t* value) {
+Status GetVarint64Slow(Slice* input, uint64_t* value) {
   uint64_t result = 0;
   for (int shift = 0; shift <= 63; shift += 7) {
     if (input->empty()) return Status::Corruption("truncated varint");
@@ -76,14 +76,6 @@ Status GetVarint64(Slice* input, uint64_t* value) {
     }
   }
   return Status::Corruption("varint too long");
-}
-
-Status GetVarint32(Slice* input, uint32_t* value) {
-  uint64_t v = 0;
-  COLMR_RETURN_IF_ERROR(GetVarint64(input, &v));
-  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
-  *value = static_cast<uint32_t>(v);
-  return Status::OK();
 }
 
 Status GetZigZag32(Slice* input, int32_t* value) {
@@ -138,6 +130,76 @@ Status GetLengthPrefixed(Slice* input, Slice* value) {
   *value = input->Prefix(len);
   input->RemovePrefix(len);
   return Status::OK();
+}
+
+Status DecodeVarint64Batch(Slice* input, size_t n, uint64_t* out,
+                           size_t* decoded) {
+  const char* const base = input->data();
+  const char* p = base;
+  const char* const limit = base + input->size();
+  size_t i = 0;
+  // Fast loop: with full 10-byte headroom no per-byte bounds check is
+  // needed — a malformed value is caught by the same canonicality rules
+  // as the scalar path before p can pass limit.
+  while (i < n && limit - p >= 10) {
+    const char* const value_start = p;
+    uint64_t byte = static_cast<uint8_t>(*p++);
+    if (byte < 0x80) {
+      out[i++] = byte;
+      continue;
+    }
+    uint64_t result = byte & 0x7f;
+    int shift = 7;
+    for (;;) {
+      byte = static_cast<uint8_t>(*p++);
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        input->RemovePrefix(value_start - base);
+        *decoded = i;
+        return Status::Corruption("varint overflow");
+      }
+      result |= (byte & 0x7f) << shift;
+      if (byte < 0x80) break;
+      shift += 7;
+      if (shift > 63) {
+        input->RemovePrefix(value_start - base);
+        *decoded = i;
+        return Status::Corruption("varint too long");
+      }
+    }
+    out[i++] = result;
+  }
+  input->RemovePrefix(p - base);
+  // Tail: bounds-checked scalar decode for the last few values.
+  while (i < n) {
+    const Slice save = *input;
+    uint64_t v = 0;
+    Status s = GetVarint64(input, &v);
+    if (!s.ok()) {
+      *input = save;
+      *decoded = i;
+      return s;
+    }
+    out[i++] = v;
+  }
+  *decoded = n;
+  return Status::OK();
+}
+
+Status DecodeFixed64Batch(Slice* input, size_t n, uint64_t* out,
+                          size_t* decoded) {
+  const size_t avail = input->size() / 8;
+  const size_t take = n < avail ? n : avail;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input->data());
+  for (size_t i = 0; i < take; ++i) {
+    uint64_t result = 0;
+    for (int j = 0; j < 8; ++j) {
+      result |= static_cast<uint64_t>(p[8 * i + j]) << (8 * j);
+    }
+    out[i] = result;
+  }
+  input->RemovePrefix(take * 8);
+  *decoded = take;
+  return take == n ? Status::OK() : Status::Corruption("truncated fixed64");
 }
 
 int VarintLength(uint64_t value) {

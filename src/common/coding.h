@@ -41,8 +41,44 @@ void PutLengthPrefixed(Buffer* dst, Slice value);
 
 /// Each Get* consumes the decoded bytes from the front of *input.
 /// Returns Corruption if the input is truncated or malformed.
-Status GetVarint32(Slice* input, uint32_t* value);
-Status GetVarint64(Slice* input, uint64_t* value);
+///
+/// GetVarint64 inlines the 1–2 byte case — the overwhelming majority of
+/// varints in real columns (small ids, lengths, zigzagged deltas) — and
+/// punts everything else, including truncation and canonicality errors,
+/// to the out-of-line slow path.
+Status GetVarint64Slow(Slice* input, uint64_t* value);
+
+inline Status GetVarint64(Slice* input, uint64_t* value) {
+  const size_t n = input->size();
+  if (n >= 1) {
+    const uint8_t b0 = static_cast<uint8_t>((*input)[0]);
+    if (b0 < 0x80) {
+      *value = b0;
+      input->RemovePrefix(1);
+      return Status::OK();
+    }
+    if (n >= 2) {
+      const uint8_t b1 = static_cast<uint8_t>((*input)[1]);
+      if (b1 < 0x80) {
+        *value = static_cast<uint64_t>(b0 & 0x7f) |
+                 (static_cast<uint64_t>(b1) << 7);
+        input->RemovePrefix(2);
+        return Status::OK();
+      }
+    }
+  }
+  return GetVarint64Slow(input, value);
+}
+
+inline Status GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v = 0;
+  Status s = GetVarint64(input, &v);
+  if (!s.ok()) return s;
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
 Status GetZigZag32(Slice* input, int32_t* value);
 Status GetZigZag64(Slice* input, int64_t* value);
 Status GetFixed32(Slice* input, uint32_t* value);
@@ -52,6 +88,24 @@ Status GetLengthPrefixed(Slice* input, Slice* value);
 
 /// Number of bytes PutVarint64 would emit for value.
 int VarintLength(uint64_t value);
+
+// ---- Batch decode kernels (DESIGN.md §10) ----
+// Both kernels decode up to n values from the front of *input. On success
+// the input cursor advances past all n values and *decoded == n. On
+// failure the cursor is restored to the first byte of the value that
+// failed, *decoded holds the count of values decoded before it, and the
+// returned status carries the same message the scalar decoder would have
+// produced for that value.
+
+/// Bulk LEB128 decode. While at least 10 bytes (the maximum encoding)
+/// remain, values are decoded without per-byte bounds checks; the tail
+/// falls back to the bounds-checked scalar path.
+Status DecodeVarint64Batch(Slice* input, size_t n, uint64_t* out,
+                           size_t* decoded);
+
+/// Bulk little-endian fixed64 decode: one bounds check for the whole run.
+Status DecodeFixed64Batch(Slice* input, size_t n, uint64_t* out,
+                          size_t* decoded);
 
 }  // namespace colmr
 

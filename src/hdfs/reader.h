@@ -48,6 +48,14 @@ class BufferedReader {
   /// of the last Peek result.
   void Consume(size_t n);
 
+  /// The shared pin keeping the current zero-copy window (a cached block)
+  /// alive, or nullptr when the window is the reader-owned buffer. A
+  /// caller that retains the returned pointer extends the lifetime of the
+  /// last Peek's slices past future reader operations — the mechanism the
+  /// batch scan uses to hand out strings without copying them (DESIGN.md
+  /// §10).
+  std::shared_ptr<const std::string> PinnedWindow() const { return pin_; }
+
   /// Repositions the cursor. Jumping outside the buffered range counts a
   /// seek and discards the buffer (prefetched bytes stay charged).
   Status Seek(uint64_t offset);

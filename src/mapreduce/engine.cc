@@ -364,9 +364,20 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     if (status.ok()) {
       VectorEmitter emitter;
       ThreadCpuStopwatch watch;
-      while (reader->Next()) {
-        job.mapper(reader->record(), &emitter);
-        ++task->input_records;
+      if (job.config.batch_rows <= 1) {
+        // Scalar path, bit-for-bit the pre-batch engine.
+        while (reader->Next()) {
+          job.mapper(reader->record(), &emitter);
+          ++task->input_records;
+        }
+      } else {
+        uint64_t filled;
+        while ((filled = reader->FillBatch(job.config.batch_rows)) > 0) {
+          for (uint64_t r = 0; r < filled; ++r) {
+            job.mapper(reader->RecordAt(r), &emitter);
+          }
+          task->input_records += filled;
+        }
       }
       // Map-side combine: sort this task's output, fold runs of equal keys
       // through the combiner, and ship the (usually much smaller) result.

@@ -45,6 +45,28 @@ class RecordReader {
 
   /// OK unless iteration stopped due to an error.
   virtual Status status() const = 0;
+
+  // ---- Batch protocol (DESIGN.md §10) ----
+  // The engine drives readers batch-at-a-time when JobConfig::batch_rows
+  // > 1: FillBatch makes up to max_rows records resident, RecordAt
+  // addresses them. The base implementation adapts any scalar reader as a
+  // one-row batch, so row formats participate without changes; CIF
+  // overrides both to decode columns in bulk.
+
+  /// Makes up to max_rows records resident and returns how many (0 = end
+  /// of split or error; check status()). Invalidates the previous batch,
+  /// including every Record obtained through RecordAt — the batched form
+  /// of Hadoop's record-reuse contract.
+  virtual uint64_t FillBatch(uint64_t max_rows) {
+    (void)max_rows;
+    return Next() ? 1 : 0;
+  }
+
+  /// The i'th resident record, i < the last FillBatch return value.
+  virtual Record& RecordAt(uint64_t i) {
+    (void)i;
+    return record();
+  }
 };
 
 /// The central Hadoop extensibility point the paper builds on (Section 2):

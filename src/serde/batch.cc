@@ -1,0 +1,85 @@
+#include "serde/batch.h"
+
+#include <cstring>
+
+namespace colmr {
+
+char* BatchArena::Allocate(size_t n) {
+  bytes_allocated_ += n;
+  if (!chunks_.empty() && used_ + n <= chunks_[current_].capacity) {
+    char* out = chunks_[current_].data.get() + used_;
+    used_ += n;
+    return out;
+  }
+  // Advance to the next retained chunk that fits, or append a new one.
+  size_t next = chunks_.empty() ? 0 : current_ + 1;
+  while (next < chunks_.size() && chunks_[next].capacity < n) ++next;
+  if (next == chunks_.size()) {
+    Chunk chunk;
+    chunk.capacity = n > kChunkSize ? n : kChunkSize;
+    chunk.data = std::make_unique<char[]>(chunk.capacity);
+    chunks_.push_back(std::move(chunk));
+  }
+  current_ = next;
+  used_ = n;
+  return chunks_[current_].data.get();
+}
+
+void ColumnBatch::Reset(TypeKind kind) {
+  kind_ = kind;
+  size_ = 0;
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  boxed_.clear();
+  nulls_.clear();
+  arena_.Clear();
+  keepalive_.clear();
+}
+
+void ColumnBatch::AppendString(Slice s, bool copy) {
+  if (copy && !s.empty()) {
+    char* dst = arena_.Allocate(s.size());
+    memcpy(dst, s.data(), s.size());
+    s = Slice(dst, s.size());
+  }
+  strings_.push_back(s);
+  ++size_;
+}
+
+void ColumnBatch::MaterializeInto(size_t row, Value* out) const {
+  if (IsNull(row)) {
+    out->AssignNull();
+    return;
+  }
+  switch (kind_) {
+    case TypeKind::kNull:
+      out->AssignNull();
+      return;
+    case TypeKind::kBool:
+      out->AssignBool(bools_[row] != 0);
+      return;
+    case TypeKind::kInt32:
+      out->AssignInt32(static_cast<int32_t>(ints_[row]));
+      return;
+    case TypeKind::kInt64:
+      out->AssignInt64(ints_[row]);
+      return;
+    case TypeKind::kDouble:
+      out->AssignDouble(doubles_[row]);
+      return;
+    case TypeKind::kString:
+    case TypeKind::kBytes:
+      out->AssignString(kind_, strings_[row].ToStringView());
+      return;
+    case TypeKind::kArray:
+    case TypeKind::kMap:
+    case TypeKind::kRecord:
+      *out = boxed_[row];  // deep copy; batch consumers prefer BoxedAt
+      return;
+  }
+  out->AssignNull();
+}
+
+}  // namespace colmr

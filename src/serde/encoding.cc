@@ -1,5 +1,8 @@
 #include "serde/encoding.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/coding.h"
 #include "obs/metrics.h"
 
@@ -355,6 +358,119 @@ Status SkipValue(const Schema& schema, Slice* input) {
   static Counter* values = SerdeCounter("serde.skip.values");
   values->Increment();
   return SkipValueRec(schema, input);
+}
+
+Status DecodeColumnBatch(const Schema& schema, Slice* input, size_t n,
+                         bool copy_strings, ColumnBatch* out,
+                         size_t* decoded) {
+  static Counter* batches = SerdeCounter("serde.batch.decoded");
+  static Counter* rows = SerdeCounter("serde.batch.rows");
+  static Counter* fallback = SerdeCounter("serde.batch.fallback_values");
+  batches->Increment();
+  *decoded = 0;
+  switch (schema.kind()) {
+    case TypeKind::kNull: {
+      for (size_t i = 0; i < n; ++i) out->AppendNull();
+      *decoded = n;
+      break;
+    }
+    case TypeKind::kBool: {
+      const size_t take = n < input->size() ? n : input->size();
+      const char* p = input->data();
+      for (size_t i = 0; i < take; ++i) out->AppendBool(p[i] != 0);
+      input->RemovePrefix(take);
+      *decoded = take;
+      if (take < n) return Status::Corruption("decode: bool");
+      break;
+    }
+    case TypeKind::kInt32:
+    case TypeKind::kInt64: {
+      const bool narrow = schema.kind() == TypeKind::kInt32;
+      uint64_t raw[512];
+      int64_t vals[512];
+      while (*decoded < n) {
+        const size_t want = std::min<size_t>(n - *decoded, 512);
+        const Slice chunk_start = *input;
+        size_t got = 0;
+        Status s = DecodeVarint64Batch(input, want, raw, &got);
+        size_t usable = got;
+        if (s.ok() && narrow) {
+          // Scalar parity: GetZigZag32 rejects raw varints wider than 32
+          // bits before zigzag decoding.
+          for (size_t i = 0; i < got; ++i) {
+            if (raw[i] > UINT32_MAX) {
+              s = Status::Corruption("varint32 overflow");
+              usable = i;
+              // Rewind to the offending value: replay the good prefix.
+              *input = chunk_start;
+              uint64_t scratch = 0;
+              for (size_t j = 0; j < i; ++j) GetVarint64(input, &scratch);
+              break;
+            }
+          }
+        }
+        for (size_t i = 0; i < usable; ++i) {
+          vals[i] = narrow ? static_cast<int64_t>(ZigZagDecode32(
+                                 static_cast<uint32_t>(raw[i])))
+                           : ZigZagDecode64(raw[i]);
+        }
+        out->AppendInts(vals, usable);
+        *decoded += usable;
+        if (!s.ok()) return s;
+      }
+      break;
+    }
+    case TypeKind::kDouble: {
+      uint64_t raw[512];
+      double vals[512];
+      while (*decoded < n) {
+        const size_t want = std::min<size_t>(n - *decoded, 512);
+        size_t got = 0;
+        Status s = DecodeFixed64Batch(input, want, raw, &got);
+        for (size_t i = 0; i < got; ++i) {
+          memcpy(&vals[i], &raw[i], 8);
+        }
+        out->AppendDoubles(vals, got);
+        *decoded += got;
+        if (!s.ok()) return s;
+      }
+      break;
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      while (*decoded < n) {
+        const Slice save = *input;
+        Slice s;
+        Status st = GetLengthPrefixed(input, &s);
+        if (!st.ok()) {
+          *input = save;
+          return st;
+        }
+        out->AppendString(s, copy_strings);
+        ++*decoded;
+      }
+      break;
+    }
+    case TypeKind::kArray:
+    case TypeKind::kMap:
+    case TypeKind::kRecord: {
+      while (*decoded < n) {
+        const Slice save = *input;
+        Value v;
+        Status st = DecodeValue(schema, input, &v);
+        if (!st.ok()) {
+          *input = save;
+          return st;
+        }
+        out->AppendBoxed(std::move(v));
+        fallback->Increment();
+        ++*decoded;
+      }
+      break;
+    }
+  }
+  rows->Increment(*decoded);
+  return Status::OK();
 }
 
 size_t EncodedSize(const Schema& schema, const Value& value) {

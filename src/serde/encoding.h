@@ -4,6 +4,7 @@
 #include "common/buffer.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "serde/batch.h"
 #include "serde/schema.h"
 #include "serde/value.h"
 
@@ -36,6 +37,24 @@ Status SkipValue(const Schema& schema, Slice* input);
 
 /// Number of bytes the encoding of value occupies.
 size_t EncodedSize(const Schema& schema, const Value& value);
+
+/// Batch decode (DESIGN.md §10): appends up to n values of `schema` to
+/// *out (which the caller has Reset to the matching kind), consuming their
+/// bytes from *input. Primitive kinds go to the typed lanes via the bulk
+/// kernels in common/coding.h; array/map/record values fall back to
+/// DecodeValue into the boxed lane. Strings are stored as slices into
+/// *input when copy_strings is false (the caller then guarantees the
+/// backing bytes outlive the batch) and copied into the batch arena when
+/// true.
+///
+/// On success *decoded == n. On failure the cursor is restored to the
+/// first byte of the failing value, *decoded holds the values appended
+/// before it, and the status message matches what the scalar DecodeValue
+/// would have returned for that value — so callers can apply the same
+/// truncation-versus-corruption retry logic to either path.
+Status DecodeColumnBatch(const Schema& schema, Slice* input, size_t n,
+                         bool copy_strings, ColumnBatch* out,
+                         size_t* decoded);
 
 /// Decoder hardening: a container count read from untrusted bytes is
 /// rejected unless it is plausible for the bytes that remain (at most

@@ -50,6 +50,41 @@ class Value {
     return v;
   }
 
+  // In-place mutators used by the batch scan path: unlike the factory
+  // functions, AssignString reuses the heap buffer a string-kind Value
+  // already owns, so re-materializing a reused Value row after row is
+  // allocation-free in the steady state.
+  void AssignNull() {
+    kind_ = TypeKind::kNull;
+    data_ = std::monostate{};
+  }
+  void AssignBool(bool v) {
+    kind_ = TypeKind::kBool;
+    data_ = v;
+  }
+  void AssignInt32(int32_t v) {
+    kind_ = TypeKind::kInt32;
+    data_ = static_cast<int64_t>(v);
+  }
+  void AssignInt64(int64_t v) {
+    kind_ = TypeKind::kInt64;
+    data_ = v;
+  }
+  void AssignDouble(double v) {
+    kind_ = TypeKind::kDouble;
+    data_ = v;
+  }
+  /// kind must be kString or kBytes.
+  void AssignString(TypeKind kind, std::string_view s) {
+    assert(kind == TypeKind::kString || kind == TypeKind::kBytes);
+    if (auto* held = std::get_if<std::string>(&data_)) {
+      held->assign(s.data(), s.size());
+    } else {
+      data_ = std::string(s);
+    }
+    kind_ = kind;
+  }
+
   TypeKind kind() const { return kind_; }
   bool is_null() const { return kind_ == TypeKind::kNull; }
 

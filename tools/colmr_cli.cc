@@ -15,17 +15,22 @@
 //   colmr rerep <image>                         re-replicate lost replicas
 //   colmr corrupt <image> <file> <block> <replica>
 //                                               flip a bit in one replica
-//   colmr scan  <image> <dataset> [p]           run a scan job; with p > 0,
+//   colmr scan  <image> <dataset> [p] [--batch-rows=N]
+//                                               run a scan job; with p > 0,
 //                                               inject transient read
 //                                               errors with probability p
+//                                               (--batch-rows=1 disables
+//                                               the vectorized map loop)
 //   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
+//               [--batch-rows=N]
 //                                               run a scan job and dump the
 //                                               metrics delta it produced
 //                                               (cache/readahead knobs:
 //                                               DESIGN.md §9)
 //   colmr trace <image> <dataset> <out.json> [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
+//               [--batch-rows=N]
 //                                               run a scan job and write its
 //                                               span timeline as Chrome
 //                                               trace_event JSON (open at
@@ -378,9 +383,19 @@ int CmdCorrupt(const std::string& image, int argc, char** argv) {
 }
 
 int CmdScan(const std::string& image, int argc, char** argv) {
-  if (argc < 1) return Usage();
-  const std::string path = argv[0];
-  const double p = argc > 1 ? std::atof(argv[1]) : 0;
+  uint64_t batch_rows = 0;
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--batch-rows=", 0) == 0) {
+      batch_rows = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) return Usage();
+  const std::string path = positional[0];
+  const double p = positional.size() > 1 ? std::atof(positional[1].c_str()) : 0;
   Status s;
   auto fs = LoadFs(image, &s);
   if (!s.ok()) return Fail(s);
@@ -392,6 +407,7 @@ int CmdScan(const std::string& image, int argc, char** argv) {
 
   Job job;
   job.config.input_paths = {path};
+  if (batch_rows > 0) job.config.batch_rows = batch_rows;
   s = DetectInputFormat(fs.get(), path, &job.input_format, nullptr);
   if (!s.ok()) return Fail(s);
   job.mapper = [](Record&, Emitter*) {};
@@ -436,6 +452,8 @@ struct ScanJobFlags {
   uint64_t cache_mb = 0;
   uint64_t readahead_kb = 0;
   int prefetch_depth = 0;
+  // Map-loop batch size (DESIGN.md §10); 0 keeps the JobConfig default.
+  uint64_t batch_rows = 0;
 };
 
 ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
@@ -452,6 +470,8 @@ ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
       flags.readahead_kb = std::strtoull(arg.c_str() + 15, nullptr, 10);
     } else if (arg.rfind("--prefetch-depth=", 0) == 0) {
       flags.prefetch_depth = std::atoi(arg.c_str() + 17);
+    } else if (arg.rfind("--batch-rows=", 0) == 0) {
+      flags.batch_rows = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg.rfind("--project=", 0) == 0) {
       std::string cols = arg.substr(10);
       size_t start = 0;
@@ -482,6 +502,7 @@ Status RunScanJob(MiniHdfs* fs, const std::string& path,
   job.config.cache_bytes = flags.cache_mb << 20;
   job.config.readahead_bytes = flags.readahead_kb << 10;
   job.config.prefetch_depth = flags.prefetch_depth;
+  if (flags.batch_rows > 0) job.config.batch_rows = flags.batch_rows;
   COLMR_RETURN_IF_ERROR(
       DetectInputFormat(fs, path, &job.input_format, nullptr));
   job.mapper = [](Record&, Emitter*) {};
