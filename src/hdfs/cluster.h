@@ -57,9 +57,14 @@ struct IoStats {
   uint64_t failover_reads = 0;
   /// Replica reads whose block CRC did not match the namenode's checksum.
   uint64_t checksum_failures = 0;
-  /// Injected datanode latency (slow-node faults), charged by the cost
-  /// model on top of bandwidth and seek terms.
+  /// Injected datanode latency (slow-node faults, read or write side),
+  /// charged by the cost model on top of bandwidth and seek terms. The
+  /// stall is also slept for real, so it shows up consistently in
+  /// JobReport::wall_seconds.
   double stall_seconds = 0;
+  /// Block seals that failed under an injected write fault (transient
+  /// pipeline error or node death mid-write).
+  uint64_t write_faults = 0;
 
   uint64_t TotalBytes() const { return local_bytes + remote_bytes; }
 
@@ -71,6 +76,7 @@ struct IoStats {
     failover_reads += other.failover_reads;
     checksum_failures += other.checksum_failures;
     stall_seconds += other.stall_seconds;
+    write_faults += other.write_faults;
   }
 };
 

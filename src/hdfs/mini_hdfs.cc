@@ -1,12 +1,14 @@
 #include "hdfs/mini_hdfs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -30,6 +32,11 @@ std::unique_ptr<MiniHdfs> MiniHdfs::CreateDefault() {
 
 Status MiniHdfs::Create(const std::string& path,
                         std::unique_ptr<FileWriter>* writer) {
+  return Create(path, WriteContext{}, writer);
+}
+
+Status MiniHdfs::Create(const std::string& path, const WriteContext& context,
+                        std::unique_ptr<FileWriter>* writer) {
   if (path.empty() || path[0] != '/') {
     return Status::InvalidArgument("path must be absolute: " + path);
   }
@@ -38,7 +45,83 @@ Status MiniHdfs::Create(const std::string& path,
     return Status::AlreadyExists(path);
   }
   files_.emplace(path, FileMeta{});
-  writer->reset(new FileWriter(this, path));
+  writer->reset(
+      new FileWriter(this, path, context, FaultInjector(fault_config_)));
+  return Status::OK();
+}
+
+Status MiniHdfs::Rename(const std::string& from, const std::string& to) {
+  if (from.empty() || from[0] != '/' || to.empty() || to[0] != '/') {
+    return Status::InvalidArgument("rename paths must be absolute");
+  }
+  std::string from_prefix = from;
+  if (from_prefix.back() != '/') from_prefix += '/';
+  std::string to_prefix = to;
+  if (to_prefix.back() != '/') to_prefix += '/';
+  if (from == to ||
+      to_prefix.compare(0, from_prefix.size(), from_prefix) == 0) {
+    return Status::InvalidArgument("cannot rename " + from +
+                                   " into itself: " + to);
+  }
+  std::unique_lock lock(mu_);
+  // Exact-file move.
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    if (files_.count(to) > 0) return Status::AlreadyExists(to);
+    FileMeta meta = std::move(it->second);
+    files_.erase(it);
+    files_.emplace(to, std::move(meta));
+    return Status::OK();
+  }
+  // Directory move: every file under from/ moves under to/, preserving
+  // relative paths. All-or-nothing: destinations are checked before any
+  // entry moves, so a collision mutates nothing.
+  std::vector<std::pair<std::string, std::string>> moves;
+  for (const auto& [file_path, meta] : files_) {
+    if (file_path.size() > from_prefix.size() &&
+        file_path.compare(0, from_prefix.size(), from_prefix) == 0) {
+      moves.emplace_back(file_path,
+                         to_prefix + file_path.substr(from_prefix.size()));
+    }
+  }
+  if (moves.empty()) return Status::NotFound(from);
+  for (const auto& [src, dst] : moves) {
+    if (files_.count(dst) > 0) return Status::AlreadyExists(dst);
+  }
+  for (const auto& [src, dst] : moves) {
+    FileMeta meta = std::move(files_.at(src));
+    files_.erase(src);
+    files_.emplace(dst, std::move(meta));
+  }
+  return Status::OK();
+}
+
+Status MiniHdfs::DeleteRecursive(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  std::string prefix = path;
+  if (prefix.back() != '/') prefix += '/';
+  std::unique_lock lock(mu_);
+  std::vector<std::string> victims;
+  for (const auto& [file_path, meta] : files_) {
+    if (file_path == path ||
+        (file_path.size() > prefix.size() &&
+         file_path.compare(0, prefix.size(), prefix) == 0)) {
+      victims.push_back(file_path);
+    }
+  }
+  for (const std::string& victim : victims) {
+    auto it = files_.find(victim);
+    for (const BlockInfo& block : it->second.blocks) {
+      block_data_.erase(block.id);  // readers keep their snapshot
+      if (block_cache_ != nullptr) block_cache_->Erase(block.id);
+      for (NodeId node : block.replicas) ForgetReplicaLocked(block.id, node);
+    }
+    files_.erase(it);
+  }
+  // Idempotent by design: abort paths may run after a crash already
+  // removed everything, or twice — both must succeed.
   return Status::OK();
 }
 
@@ -545,22 +628,75 @@ Status MiniHdfs::LoadImage(const std::string& local_path) {
 
 // ---- FileWriter ----
 
-FileWriter::FileWriter(MiniHdfs* fs, std::string path)
-    : fs_(fs), path_(std::move(path)) {}
+FileWriter::FileWriter(MiniHdfs* fs, std::string path, WriteContext context,
+                       FaultInjector faults)
+    : fs_(fs),
+      path_(std::move(path)),
+      context_(context),
+      faults_(std::move(faults)),
+      path_key_(FaultInjector::PathKey(path_)) {
+  MetricsRegistry& metrics = context_.metrics != nullptr
+                                 ? *context_.metrics
+                                 : MetricsRegistry::Default();
+  m_write_faults_ = metrics.counter("hdfs.write.faults");
+}
 
 FileWriter::~FileWriter() {
   if (!closed_) Close();
 }
 
 void FileWriter::Append(Slice data) {
+  if (!status_.ok()) return;  // sticky-bad: the pipeline is torn
   pending_.append(data.data(), data.size());
   bytes_written_ += data.size();
-  while (pending_.size() >= fs_->config_.block_size) {
+  while (status_.ok() && pending_.size() >= fs_->config_.block_size) {
     SealBlock();
   }
 }
 
 void FileWriter::SealBlock() {
+  // Fault consultation happens before the namespace lock is taken:
+  // KillNode acquires it itself, and the sleep must not serialize the
+  // namenode. Draw coordinates follow the header contract — write domain,
+  // keyed by (hash(path) + block index, node, salt, draw).
+  if (faults_.config().write_active() || context_.node != kAnyNode) {
+    if (faults_.WriterNodeDies(context_.node)) {
+      // The datanode dies the moment this writer's pipeline touches it.
+      // AlreadyExists (already dead) is fine — a dead node still cannot
+      // complete the seal.
+      fs_->KillNode(context_.node);
+      status_ = Status::IoError("node " + std::to_string(context_.node) +
+                                " died mid-write of " + path_ + " (injected)");
+      m_write_faults_->Increment();
+      if (context_.stats != nullptr) context_.stats->write_faults += 1;
+      pending_.clear();
+      return;
+    }
+    if (context_.node != kAnyNode && fs_->IsNodeDead(context_.node)) {
+      status_ = Status::IoError("node " + std::to_string(context_.node) +
+                                " is dead; cannot write " + path_);
+      m_write_faults_->Increment();
+      if (context_.stats != nullptr) context_.stats->write_faults += 1;
+      pending_.clear();
+      return;
+    }
+    if (faults_.WriteAttemptFails(
+            path_key_ + static_cast<uint64_t>(next_block_index_),
+            context_.node, context_.fault_salt, fault_draws_++)) {
+      status_ = Status::IoError("injected transient write fault sealing block " +
+                                std::to_string(next_block_index_) + " of " +
+                                path_);
+      m_write_faults_->Increment();
+      if (context_.stats != nullptr) context_.stats->write_faults += 1;
+      pending_.clear();
+      return;
+    }
+    const double stall = faults_.WriteStallSeconds(context_.node);
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+      if (context_.stats != nullptr) context_.stats->stall_seconds += stall;
+    }
+  }
   const uint64_t block_size = fs_->config_.block_size;
   const size_t take = std::min<size_t>(pending_.size(), block_size);
   std::unique_lock lock(fs_->mu_);
@@ -581,10 +717,10 @@ void FileWriter::SealBlock() {
 }
 
 Status FileWriter::Close() {
-  if (closed_) return Status::OK();
+  if (closed_) return status_;
   closed_ = true;
-  while (!pending_.empty()) SealBlock();
-  return Status::OK();
+  while (status_.ok() && !pending_.empty()) SealBlock();
+  return status_;
 }
 
 // ---- FileReader ----
@@ -637,6 +773,10 @@ uint32_t ServedCrc(const std::string& data, bool corrupted) {
 
 Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
                              std::string* out) const {
+  if (context_.cancel != nullptr &&
+      context_.cancel->load(std::memory_order_relaxed)) {
+    return Status::IoError("read canceled by the issuing task");
+  }
   if (faults_.ExecutionNodeBroken(context_.node)) {
     return Status::IoError("node " + std::to_string(context_.node) +
                            " cannot read (broken-node fault)");
@@ -703,13 +843,40 @@ Status FileReader::ReadBlock(const BlockRef& block, uint64_t from, uint64_t to,
     const bool is_local =
         context_.node == kAnyNode || candidate.node == context_.node;
     (is_local ? m_local_bytes_ : m_remote_bytes_)->Increment(to - from);
+    // Slow-node stall: sleep for real so the injected latency shows up in
+    // measured wall time (and straggler defenses have something to race),
+    // and charge it to stats so the cost model sees it too. The sleep is
+    // sliced so a canceled reader (a superseded speculative attempt) bails
+    // out mid-stall instead of serving latency nobody will use; only the
+    // portion actually slept is charged.
+    double stall = faults_.ServeStallSeconds(candidate.node);
+    bool canceled = false;
+    if (stall > 0) {
+      constexpr double kSliceSeconds = 1e-3;
+      double remaining = stall;
+      while (remaining > 0) {
+        if (context_.cancel != nullptr &&
+            context_.cancel->load(std::memory_order_relaxed)) {
+          canceled = true;
+          break;
+        }
+        const double slice = remaining < kSliceSeconds ? remaining
+                                                       : kSliceSeconds;
+        std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+        remaining -= slice;
+      }
+      stall -= remaining;
+    }
     if (context_.stats != nullptr) {
       if (is_local) {
         context_.stats->local_bytes += to - from;
       } else {
         context_.stats->remote_bytes += to - from;
       }
-      context_.stats->stall_seconds += faults_.ServeStallSeconds(candidate.node);
+      context_.stats->stall_seconds += stall;
+    }
+    if (canceled) {
+      return Status::IoError("read canceled by the issuing task mid-stall");
     }
     return Status::OK();
   }

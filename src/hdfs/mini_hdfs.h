@@ -1,6 +1,7 @@
 #ifndef COLMR_HDFS_MINI_HDFS_H_
 #define COLMR_HDFS_MINI_HDFS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -72,6 +73,25 @@ struct ReadContext {
   /// queue would order prefetch after every queued task); the engine
   /// creates a small dedicated pool per run. Not owned.
   ThreadPool* prefetch_pool = nullptr;
+  /// Cooperative cancellation (DESIGN.§11): when set and it becomes true,
+  /// in-flight reads stop early with IoError — including mid-stall on an
+  /// injected slow node, so a superseded speculative attempt never holds
+  /// the job's wall clock hostage for latency nobody will use. Not owned;
+  /// must outlive every reader opened with this context.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Where a write is executing, for fault injection and stall accounting.
+/// node == kAnyNode means "no placement": node-keyed write faults
+/// (slow_write_nodes, write_death_nodes) never hit, but transient
+/// write_error_p draws still apply. fault_salt identifies the task attempt
+/// issuing the write, so a re-executed attempt draws a fresh deterministic
+/// fault schedule (see the FaultInjector draw-keying contract).
+struct WriteContext {
+  NodeId node = kAnyNode;
+  IoStats* stats = nullptr;  // optional sink; may be null
+  uint64_t fault_salt = 0;
+  MetricsRegistry* metrics = nullptr;  // null -> MetricsRegistry::Default()
 };
 
 /// In-process HDFS: a namenode namespace of append-only files split into
@@ -117,6 +137,12 @@ class MiniHdfs {
   /// Creates a new file for appending. Fails if the path exists.
   Status Create(const std::string& path, std::unique_ptr<FileWriter>* writer);
 
+  /// Create with an execution context: the writer consults the installed
+  /// fault schedule (snapshotted at Create) on every block seal and
+  /// charges stalls/faults to context.stats.
+  Status Create(const std::string& path, const WriteContext& context,
+                std::unique_ptr<FileWriter>* writer);
+
   /// Opens an existing file for positioned reads in the given context.
   /// The reader snapshots the file's block metadata and takes shared
   /// ownership of the block data, so it stays valid (and keeps serving)
@@ -127,6 +153,23 @@ class MiniHdfs {
   bool Exists(const std::string& path) const;
   Status GetFileSize(const std::string& path, uint64_t* size) const;
   Status Delete(const std::string& path);
+
+  /// Namenode-atomic rename. `from` may name a file (exact-path move) or
+  /// a directory (every file under `from/` moves under `to/`, preserving
+  /// relative paths, all-or-nothing under one exclusive namespace lock).
+  /// Fails with AlreadyExists — mutating nothing — when any destination
+  /// path exists; NotFound when `from` names neither a file nor a
+  /// non-empty directory. Pure metadata move: block ids, data, and
+  /// generations are untouched, so block-cache entries stay valid and
+  /// in-flight readers of the old paths keep serving their snapshots.
+  /// This is the primitive the OutputCommitter's commit steps build on —
+  /// its atomicity is what makes task/job commit crash-safe.
+  Status Rename(const std::string& from, const std::string& to);
+
+  /// Deletes `path` (when it is a file) and every file under `path/`.
+  /// Idempotent: returns OK when nothing exists — abort paths may run
+  /// twice or race a completed commit without failing.
+  Status DeleteRecursive(const std::string& path);
 
   /// Immediate children (files and subdirectories) of a directory path,
   /// sorted, without the parent prefix.
@@ -290,6 +333,14 @@ class MiniHdfs {
 /// Append-only writer (HDFS files cannot be modified in place — the
 /// constraint that forces CIF skip-list construction to double-buffer,
 /// paper Appendix B.3). Close() must be called; it seals the file.
+///
+/// Failure model (DESIGN.md §11): the writer snapshots the installed
+/// fault schedule at Create and consults it on every block seal (from
+/// Append once a block's worth of bytes is pending, and from Close for
+/// the tail). A failed seal makes the writer sticky-bad: further Appends
+/// are dropped, Close returns the first error, and the file keeps only
+/// the blocks sealed before the fault — exactly the torn state an
+/// atomic-commit protocol must make invisible.
 class FileWriter {
  public:
   ~FileWriter();
@@ -301,18 +352,32 @@ class FileWriter {
   uint64_t BytesWritten() const { return bytes_written_; }
   Status Close();
 
+  /// First seal error, or OK. Callers that Append in a loop can poll this
+  /// to stop early instead of discovering the fault at Close.
+  const Status& status() const { return status_; }
+
  private:
   friend class MiniHdfs;
-  FileWriter(MiniHdfs* fs, std::string path);
+  FileWriter(MiniHdfs* fs, std::string path, WriteContext context,
+             FaultInjector faults);
 
   void SealBlock();
 
   MiniHdfs* fs_;
   std::string path_;
+  WriteContext context_;
+  FaultInjector faults_;
+  /// Write-draw key of block 0 of this path (PathKey); block i draws at
+  /// key base + i.
+  uint64_t path_key_ = 0;
+  /// Running fault-draw counter (see the FaultInjector keying contract).
+  uint64_t fault_draws_ = 0;
+  Status status_;        // sticky first failure
   std::string pending_;  // bytes not yet sealed into a block
   uint64_t bytes_written_ = 0;
   int next_block_index_ = 0;
   bool closed_ = false;
+  Counter* m_write_faults_ = nullptr;
 };
 
 /// Positioned reader with local/remote byte accounting and per-replica

@@ -1,15 +1,21 @@
 #include "mapreduce/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "mapreduce/committer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serde/encoding.h"
@@ -168,6 +174,39 @@ bool SplitIsLocalTo(const InputSplit& split, NodeId node) {
          split.locations.end();
 }
 
+/// Fault-salt domain for reduce-output write attempts: the high bit keeps
+/// them disjoint from map-attempt salts (split * 131 + attempt) — see the
+/// draw-keying contract in fault_injector.h.
+constexpr uint64_t kReduceWriteSaltDomain = 0x8000000000000000ull;
+
+/// Shared state of one map task's attempts under speculative execution.
+/// The mutex serializes "who records the task's result": exactly one of
+/// the primary retry chain and the (at most one) backup attempt writes
+/// results[i], whatever order they finish in. `done` doubles as the
+/// supersede hint losing attempts poll to exit early.
+struct TaskControl {
+  std::mutex mu;
+  /// A result (success or terminal failure) has been recorded.
+  bool recorded = false;
+  /// The monitor launched (and has not yet seen finish) a backup attempt.
+  bool backup_launched = false;
+  bool backup_inflight = false;
+  /// The primary chain failed terminally while a backup was in flight;
+  /// the backup's completion decides whether the failure stands.
+  bool primary_failed = false;
+  Status primary_status;
+  /// Nodes any attempt of this task has executed on (backup placement
+  /// avoids them).
+  std::set<NodeId> tried;
+  /// Wall-clock duration of the recorded result, for the monitor's
+  /// completed-task median.
+  double duration = 0;
+  std::atomic<bool> done{false};
+  /// Seconds on the phase clock when the primary chain started executing;
+  /// < 0 until then (queued tasks are not stragglers).
+  std::atomic<double> started_at{-1.0};
+};
+
 }  // namespace
 
 /// Everything one map task hands back to the merge step. Each task owns
@@ -253,6 +292,30 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
   }
   metrics->counter("mr.job.runs")->Increment();
 
+  // Output guard + commit protocol (DESIGN.md §11): claim the output
+  // directory before any task runs, and make sure a failed job leaves no
+  // visible output — a crash, fault, or exhausted retry at any point
+  // below rolls the directory back to empty.
+  std::unique_ptr<OutputCommitter> committer;
+  if (!job.config.output_path.empty()) {
+    committer = std::make_unique<OutputCommitter>(fs_, job.config.output_path,
+                                                  metrics, trace);
+    COLMR_RETURN_IF_ERROR(committer->SetupJob());
+  }
+  Status status = ExecutePhases(job, report, metrics, trace, committer.get());
+  if (!status.ok() && committer != nullptr) {
+    committer->AbortJob();
+    report->commit_aborts += 1;
+  }
+  report->wall_seconds = wall.ElapsedSeconds();
+  return status;
+}
+
+Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
+                                MetricsRegistry* metrics,
+                                TraceCollector* trace,
+                                OutputCommitter* committer) {
+
   // ---- Block cache + prefetch (DESIGN.md §9): attach the shared cache
   // (idempotent, so repeated jobs share one warm cache) and stand up the
   // dedicated warm-task pool. Prefetch must NOT share the map-task pool:
@@ -271,6 +334,10 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
   Counter* m_nodes_blacklisted = metrics->counter("mr.node.blacklisted");
   Gauge* m_slots_active = metrics->gauge("mr.slots.active");
   Histogram* m_task_cpu_micros = metrics->histogram("mr.task.cpu_micros");
+  Counter* m_spec_launched = metrics->counter("mr.speculative.launched");
+  Counter* m_spec_won = metrics->counter("mr.speculative.won");
+  Counter* m_spec_lost = metrics->counter("mr.speculative.lost");
+  Counter* m_write_retries = metrics->counter("hdfs.write.retries");
 
   std::vector<InputSplit> splits;
   {
@@ -323,12 +390,28 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
   RetryTracker retry(job.config.node_blacklist_failures);
   std::vector<MapTaskResult> results(splits.size());
 
+  // Speculation / deadline machinery. Controls exist even when both
+  // features are off — the checks they feed are gated, so the fast path
+  // only pays an untaken branch.
+  const bool speculate =
+      job.config.speculative_execution && job.config.parallelism != 1;
+  std::vector<std::unique_ptr<TaskControl>> controls(splits.size());
+  for (auto& control : controls) control = std::make_unique<TaskControl>();
+  Stopwatch phase_clock;
+  std::atomic<size_t> tasks_recorded{0};
+  std::atomic<uint64_t> spec_launched{0}, spec_won{0}, spec_lost{0};
+
   // One execution of one map task on one node. Everything the attempt
   // produces lands in attempt-private state, so a failed attempt can be
-  // discarded wholesale and retried.
+  // discarded wholesale and retried. `superseded` (may be null) is the
+  // early-exit hint: once another attempt of the same task has recorded
+  // the result, this attempt stops reading and returns — its output is
+  // discarded either way, and a losing straggler must not hold the job's
+  // wall clock hostage.
   auto run_attempt = [&](size_t i, int attempt, NodeId node, bool data_local,
                          TaskReport* task,
-                         std::vector<std::pair<Value, Value>>* pairs) {
+                         std::vector<std::pair<Value, Value>>* pairs,
+                         const std::atomic<bool>* superseded) {
     task->split_index = static_cast<int>(i);
     task->node = node;
     task->data_local = data_local;
@@ -358,21 +441,55 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     context.readahead_bytes = job.config.readahead_bytes;
     context.prefetch_depth = job.config.prefetch_depth;
     context.prefetch_pool = prefetch_pool.get();
+    context.cancel = superseded;
     std::unique_ptr<RecordReader> reader;
     Status status = job.input_format->CreateRecordReader(
         fs_, job.config, splits[i], context, &reader);
     if (status.ok()) {
+      // Per-attempt wall-clock deadline (task_timeout_ms) and supersede
+      // polling. Both checks are cheap but not free (a steady_clock read,
+      // an atomic load), so the scalar loop polls every 64 records and
+      // the batch loop once per batch. `interrupted` leaves the abort
+      // reason in abort_status.
+      const double timeout_seconds = job.config.task_timeout_ms > 0
+                                         ? job.config.task_timeout_ms / 1e3
+                                         : 0;
+      const bool poll = timeout_seconds > 0 || superseded != nullptr;
+      Stopwatch attempt_watch;
+      Status abort_status;
+      auto interrupted = [&]() -> bool {
+        if (!poll) return false;
+        if (superseded != nullptr &&
+            superseded->load(std::memory_order_relaxed)) {
+          abort_status = Status::IoError("attempt superseded: task " +
+                                         std::to_string(i) +
+                                         " already has a recorded result");
+          return true;
+        }
+        if (timeout_seconds > 0 &&
+            attempt_watch.ElapsedSeconds() > timeout_seconds) {
+          abort_status = Status::IoError(
+              "task " + std::to_string(i) + " attempt " +
+              std::to_string(attempt) + " exceeded task_timeout_ms=" +
+              std::to_string(job.config.task_timeout_ms));
+          return true;
+        }
+        return false;
+      };
       VectorEmitter emitter;
       ThreadCpuStopwatch watch;
       if (job.config.batch_rows <= 1) {
         // Scalar path, bit-for-bit the pre-batch engine.
+        uint64_t tick = 0;
         while (reader->Next()) {
+          if ((++tick & 63) == 0 && interrupted()) break;
           job.mapper(reader->record(), &emitter);
           ++task->input_records;
         }
       } else {
         uint64_t filled;
         while ((filled = reader->FillBatch(job.config.batch_rows)) > 0) {
+          if (interrupted()) break;
           for (uint64_t r = 0; r < filled; ++r) {
             job.mapper(reader->RecordAt(r), &emitter);
           }
@@ -381,7 +498,7 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
       }
       // Map-side combine: sort this task's output, fold runs of equal keys
       // through the combiner, and ship the (usually much smaller) result.
-      if (job.combiner && !emitter.pairs().empty()) {
+      if (abort_status.ok() && job.combiner && !emitter.pairs().empty()) {
         auto& all = emitter.pairs();
         std::stable_sort(all.begin(), all.end(),
                          [](const auto& a, const auto& b) {
@@ -392,7 +509,7 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
         all = std::move(combined.pairs());
       }
       task->cpu_seconds = watch.ElapsedSeconds();
-      status = reader->status();
+      status = abort_status.ok() ? reader->status() : abort_status;
       task->output_records = emitter.pairs().size();
       *pairs = std::move(emitter.pairs());
       if (task_span.active()) {
@@ -408,49 +525,137 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     return status;
   };
 
-  auto execute_task = [&](size_t i) {
-    MapTaskResult& result = results[i];
+  // One task end-to-end, as either the primary execution (the retry loop:
+  // up to max_task_attempts, fresh node per retry, blacklist feedback) or
+  // the single speculative backup attempt. Whichever execution finishes
+  // first records the task's result under the control lock; the other
+  // discovers ctrl.done, skips recording, and its output is discarded —
+  // exactly one writer of results[i], ever.
+  auto run_task = [&](size_t i, bool is_backup) {
+    TaskControl& ctrl = *controls[i];
     const int max_attempts = std::max(1, job.config.max_task_attempts);
-    std::set<NodeId> tried;
+    const std::atomic<bool>* supersede_flag = speculate ? &ctrl.done : nullptr;
+
+    if (is_backup) {
+      // One attempt, on a node the primary has not tried (fall back to
+      // reuse when the cluster is exhausted). The attempt index sits past
+      // the primary's range so its fault-schedule salt never collides.
+      std::set<NodeId> tried;
+      {
+        std::lock_guard<std::mutex> lock(ctrl.mu);
+        tried = ctrl.tried;
+      }
+      const NodeId node =
+          PickRetryNode(*fs_, splits[i], tried, retry, assigned_node[i]);
+      TaskReport task;
+      std::vector<std::pair<Value, Value>> pairs;
+      Status status = run_attempt(i, max_attempts, node,
+                                  SplitIsLocalTo(splits[i], node), &task,
+                                  &pairs, supersede_flag);
+      bool won = false;
+      {
+        std::lock_guard<std::mutex> lock(ctrl.mu);
+        ctrl.backup_inflight = false;
+        if (status.ok() && !ctrl.recorded) {
+          ctrl.recorded = true;
+          task.attempts = 1;
+          task.sim_seconds =
+              cost_model_.TaskSeconds({task.cpu_seconds, task.io});
+          results[i].task = std::move(task);
+          results[i].pairs = std::move(pairs);
+          results[i].status = Status::OK();
+          ctrl.done.store(true, std::memory_order_relaxed);
+          tasks_recorded.fetch_add(1);
+          won = true;
+        } else if (!status.ok() && ctrl.primary_failed && !ctrl.recorded) {
+          // The primary already failed terminally and deferred to us; the
+          // backup failed too, so the task fails with the primary's error.
+          ctrl.recorded = true;
+          results[i].status = ctrl.primary_status;
+          ctrl.done.store(true, std::memory_order_relaxed);
+          tasks_recorded.fetch_add(1);
+        }
+      }
+      if (won) {
+        spec_won.fetch_add(1);
+        m_spec_won->Increment();
+      } else {
+        spec_lost.fetch_add(1);
+        m_spec_lost->Increment();
+      }
+      TraceInstant(trace, won ? "speculative_won" : "speculative_lost", "mr",
+                   {{"split", TraceCollector::JsonValue(
+                                  static_cast<uint64_t>(i))}});
+      return;
+    }
+
+    // Primary execution. started_at is stamped here — not at submit time —
+    // so a task still queued behind others is never mistaken for a
+    // straggler by the monitor.
+    ctrl.started_at.store(phase_clock.ElapsedSeconds(),
+                          std::memory_order_relaxed);
     NodeId node = assigned_node[i];
     bool data_local = assigned_local[i] != 0;
     IoStats failed_io;
     double failed_cpu = 0;
 
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
-      // Move off the scheduled node when it has been blacklisted since
-      // scheduling, and always onto a fresh node for a retry.
-      if (retry.IsBlacklisted(node) || tried.count(node) > 0) {
-        node = PickRetryNode(*fs_, splits[i], tried, retry, node);
-        data_local = SplitIsLocalTo(splits[i], node);
+      if (ctrl.done.load(std::memory_order_relaxed)) return;  // backup won
+      {
+        // Move off the scheduled node when it has been blacklisted since
+        // scheduling, and always onto a fresh node for a retry. The tried
+        // set lives in ctrl so a backup can pick a disjoint node.
+        std::lock_guard<std::mutex> lock(ctrl.mu);
+        if (retry.IsBlacklisted(node) || ctrl.tried.count(node) > 0) {
+          node = PickRetryNode(*fs_, splits[i], ctrl.tried, retry, node);
+          data_local = SplitIsLocalTo(splits[i], node);
+        }
+        ctrl.tried.insert(node);
       }
-      tried.insert(node);
 
       TaskReport task;
       std::vector<std::pair<Value, Value>> pairs;
-      result.status = run_attempt(i, attempt, node, data_local, &task, &pairs);
+      Status status = run_attempt(i, attempt, node, data_local, &task, &pairs,
+                                  supersede_flag);
 
       // DataLoss is terminal: no replica anywhere can serve the bytes, so
       // burning the remaining attempts (or blaming the node) is wrong.
-      if (result.status.ok() || result.status.IsDataLoss() ||
-          attempt + 1 >= max_attempts) {
+      if (status.ok() || status.IsDataLoss() || attempt + 1 >= max_attempts) {
         task.attempts = attempt + 1;
         // The task's cost includes what its failed attempts consumed.
         task.cpu_seconds += failed_cpu;
         task.io.Add(failed_io);
+        std::lock_guard<std::mutex> lock(ctrl.mu);
+        if (ctrl.recorded) return;  // the backup finished first
+        if (!status.ok() && ctrl.backup_inflight) {
+          // Terminal failure while a backup is still running: defer the
+          // verdict — the backup may yet succeed.
+          ctrl.primary_failed = true;
+          ctrl.primary_status = std::move(status);
+          return;
+        }
+        ctrl.recorded = true;
+        ctrl.duration = phase_clock.ElapsedSeconds() -
+                        ctrl.started_at.load(std::memory_order_relaxed);
         task.sim_seconds =
             cost_model_.TaskSeconds({task.cpu_seconds, task.io});
-        result.task = std::move(task);
-        result.pairs = std::move(pairs);
+        results[i].task = std::move(task);
+        results[i].pairs = std::move(pairs);
+        results[i].status = std::move(status);
+        ctrl.done.store(true, std::memory_order_relaxed);
+        tasks_recorded.fetch_add(1);
         return;
       }
+      // Retryable failure — unless this attempt was aborted because the
+      // backup already recorded the task, which is no node's fault and
+      // needs no retry bookkeeping.
+      if (ctrl.done.load(std::memory_order_relaxed)) return;
       m_task_retries->Increment();
       TraceInstant(trace, "task_retry", "mr",
                    {{"split", TraceCollector::JsonValue(
                                   static_cast<uint64_t>(i))},
                     {"node", TraceCollector::JsonValue(node)},
-                    {"error", TraceCollector::JsonValue(
-                                  result.status.message())}});
+                    {"error", TraceCollector::JsonValue(status.message())}});
       if (retry.RecordFailure(node)) {
         m_nodes_blacklisted->Increment();
         TraceInstant(trace, "node_blacklisted", "mr",
@@ -471,18 +676,69 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     if (threads > 1) {
       pool = std::make_unique<ThreadPool>(threads);
       for (size_t i = 0; i < splits.size(); ++i) {
-        pool->Submit([&execute_task, i] { execute_task(i); });
+        pool->Submit([&run_task, i] { run_task(i, false); });
+      }
+      if (speculate) {
+        // Straggler monitor (Hadoop semantics): once completed tasks give
+        // a median duration, any running task lagging past
+        // max(2 × median, 10 ms) gets ONE backup attempt on another node.
+        // The driver thread plays the JobTracker here, polling while the
+        // pool drains.
+        while (tasks_recorded.load(std::memory_order_relaxed) <
+               splits.size()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          std::vector<double> durations;
+          for (auto& control : controls) {
+            std::lock_guard<std::mutex> lock(control->mu);
+            if (control->recorded) durations.push_back(control->duration);
+          }
+          if (durations.empty()) continue;
+          std::nth_element(durations.begin(),
+                           durations.begin() + durations.size() / 2,
+                           durations.end());
+          const double median = durations[durations.size() / 2];
+          const double threshold = std::max(2 * median, 0.01);
+          const double now = phase_clock.ElapsedSeconds();
+          for (size_t i = 0; i < splits.size(); ++i) {
+            TaskControl& ctrl = *controls[i];
+            const double started =
+                ctrl.started_at.load(std::memory_order_relaxed);
+            if (started < 0 || ctrl.done.load(std::memory_order_relaxed) ||
+                now - started <= threshold) {
+              continue;
+            }
+            bool launch = false;
+            {
+              std::lock_guard<std::mutex> lock(ctrl.mu);
+              if (!ctrl.recorded && !ctrl.backup_launched) {
+                ctrl.backup_launched = true;
+                ctrl.backup_inflight = true;
+                launch = true;
+              }
+            }
+            if (!launch) continue;
+            spec_launched.fetch_add(1);
+            m_spec_launched->Increment();
+            TraceInstant(trace, "speculative_launch", "mr",
+                         {{"split", TraceCollector::JsonValue(
+                                        static_cast<uint64_t>(i))}});
+            pool->Submit([&run_task, i] { run_task(i, true); });
+          }
+        }
       }
       pool->Wait();
     } else {
       for (size_t i = 0; i < splits.size(); ++i) {
-        execute_task(i);
+        run_task(i, false);
         // Fail fast like the original serial loop (after the task's own
         // retries are exhausted); the merge below reports the failure.
         if (!results[i].status.ok()) break;
       }
     }
   }
+  report->speculative_launched = spec_launched.load();
+  report->speculative_won = spec_won.load();
+  report->speculative_lost = spec_lost.load();
 
   // ---- Failure/recovery accounting: filled before the merge loop so a
   // failed job still reports what its recovery machinery did.
@@ -596,6 +852,107 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
       }
     }
 
+    // Materialize the reduce output as text part files through the commit
+    // protocol (DESIGN.md §11) — before the merge below moves the
+    // partition vectors. Each partition is one output task: an attempt
+    // writes part-r-NNNNN into its private _temporary attempt dir, then
+    // commits with one atomic rename. A write or commit fault retries the
+    // whole attempt on another node, feeding the same blacklist as map
+    // retries; exhausting attempts fails the job (and RunImpl's AbortJob
+    // leaves no visible output). Empty partitions still write their part
+    // file, matching Hadoop's one-file-per-reducer layout.
+    if (committer != nullptr) {
+      const int write_attempts = std::max(1, job.config.max_task_attempts);
+      const int num_nodes = fs_->config().num_nodes;
+      for (size_t p = 0; p < reduced.size(); ++p) {
+        char task_id[32];
+        std::snprintf(task_id, sizeof(task_id), "r_%05zu", p);
+        char part_name[32];
+        std::snprintf(part_name, sizeof(part_name), "part-r-%05zu", p);
+        std::set<NodeId> tried;
+        Status last;
+        bool committed = false;
+        for (int attempt = 0; attempt < write_attempts && !committed;
+             ++attempt) {
+          // Deterministic node choice: round-robin from the partition
+          // index over live, unblacklisted, untried nodes, reusing a
+          // tried node only when the cluster is exhausted.
+          NodeId node = static_cast<NodeId>(p % num_nodes);
+          for (int off = 0; off < num_nodes; ++off) {
+            const NodeId cand =
+                static_cast<NodeId>((p + static_cast<size_t>(off)) %
+                                    static_cast<size_t>(num_nodes));
+            if (fs_->IsNodeDead(cand) || retry.IsBlacklisted(cand) ||
+                tried.count(cand) > 0) {
+              continue;
+            }
+            node = cand;
+            break;
+          }
+          tried.insert(node);
+
+          ScopedSpan output_span(trace, "output.write", "mr");
+          if (output_span.active()) {
+            output_span.AddArg("partition", static_cast<uint64_t>(p));
+            output_span.AddArg("attempt", attempt);
+            output_span.AddArg("node", node);
+          }
+          // Write-fault salt: the reduce-output domain bit keeps these
+          // draws disjoint from map-read salts (see fault_injector.h).
+          const uint64_t salt =
+              kReduceWriteSaltDomain |
+              (static_cast<uint64_t>(p) * 131 + static_cast<uint64_t>(attempt));
+          IoStats io;
+          WriteContext wctx{node, &io, salt, metrics};
+          Status attempt_status = [&]() -> Status {
+            std::unique_ptr<FileWriter> writer;
+            COLMR_RETURN_IF_ERROR(
+                fs_->Create(committer->TaskAttemptDir(task_id, attempt) + "/" +
+                                part_name,
+                            wctx, &writer));
+            for (const auto& [key, value] : reduced[p].pairs) {
+              writer->Append(key.ToString() + "\t" + value.ToString() + "\n");
+              if (!writer->status().ok()) break;
+            }
+            return writer->Close();
+          }();
+          if (attempt_status.ok()) {
+            bool won = false;
+            attempt_status =
+                committer->CommitTask(task_id, attempt, salt, &won);
+            if (attempt_status.ok()) {
+              committed = true;
+              if (won) {
+                report->tasks_committed += 1;
+              } else {
+                // Lost the commit rename race to a duplicate attempt; this
+                // attempt's scratch must go.
+                committer->AbortTask(task_id, attempt);
+                report->commit_aborts += 1;
+              }
+            }
+          }
+          report->write_faults += io.write_faults;
+          if (!attempt_status.ok()) {
+            last = attempt_status;
+            committer->AbortTask(task_id, attempt);
+            report->commit_aborts += 1;
+            if (retry.RecordFailure(node)) {
+              m_nodes_blacklisted->Increment();
+              TraceInstant(trace, "node_blacklisted", "mr",
+                           {{"node", TraceCollector::JsonValue(node)}});
+            }
+            if (attempt + 1 < write_attempts) {
+              report->write_retries += 1;
+              m_write_retries->Increment();
+            }
+          }
+        }
+        if (!committed) return last;
+      }
+      COLMR_RETURN_IF_ERROR(committer->CommitJob(kReduceWriteSaltDomain));
+    }
+
     // Merge emitted output in partition order — identical to running the
     // reducers one after another.
     Counter* m_reduce_input = metrics->counter("mr.reduce.input_records");
@@ -620,18 +977,6 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
     report->shuffle_seconds =
         bytes_per_reducer / (fs_->config().network_bandwidth_mbps * 1e6);
 
-    // Materialize the reduce output as text part files when requested.
-    if (!job.config.output_path.empty()) {
-      ScopedSpan output_span(trace, "output.write", "mr");
-      std::unique_ptr<FileWriter> writer;
-      COLMR_RETURN_IF_ERROR(
-          fs_->Create(job.config.output_path + "/part-r-00000", &writer));
-      for (const auto& [key, value] : report->output) {
-        std::string line = key.ToString() + "\t" + value.ToString() + "\n";
-        writer->Append(line);
-      }
-      COLMR_RETURN_IF_ERROR(writer->Close());
-    }
   } else {
     report->output = std::move(map_output);
   }
@@ -639,7 +984,6 @@ Status JobRunner::RunImpl(const Job& job, JobReport* report,
   report->total_seconds = report->map_phase_seconds +
                           report->shuffle_seconds +
                           report->reduce_phase_seconds;
-  report->wall_seconds = wall.ElapsedSeconds();
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "hdfs/cost_model.h"
 #include "hdfs/mini_hdfs.h"
+#include "mapreduce/committer.h"
 #include "mapreduce/job.h"
 
 namespace colmr {
@@ -35,9 +36,22 @@ namespace colmr {
 /// up to JobConfig::max_task_attempts. Nodes accumulating
 /// node_blacklist_failures failed attempts are blacklisted for the rest
 /// of the job. DataLoss is terminal — no node can serve the bytes.
-/// Reducers run on in-memory map output (the shuffle is simulated), so
-/// only map attempts can fail; the job fails with the lowest-index task
-/// that exhausted its attempts.
+/// Reducers run on in-memory map output (the shuffle is simulated);
+/// reduce OUTPUT is written per partition through the OutputCommitter
+/// (DESIGN.md §11): each write attempt lands in a private
+/// _temporary/attempt dir, commits via a namenode-atomic rename, and the
+/// job commit promotes every part and writes _SUCCESS — so a fault,
+/// crash, or duplicate attempt at any instant leaves either complete
+/// output or no visible output. Output-write attempts retry across nodes
+/// under injected write faults, feeding the same blacklist.
+///
+/// Straggler defense: JobConfig::task_timeout_ms fails attempts that
+/// exceed a wall-clock deadline back into the retry machinery, and
+/// JobConfig::speculative_execution launches one backup attempt of any
+/// map task lagging well behind the completed-task median — first result
+/// recorded wins, the loser is discarded (Hadoop semantics). Output stays
+/// byte-identical across every fault × speculation × parallelism
+/// combination.
 class JobRunner {
  public:
   explicit JobRunner(MiniHdfs* fs) : fs_(fs), cost_model_(fs->config()) {}
@@ -59,8 +73,19 @@ class JobRunner {
 
   /// Run() minus trace lifecycle: Run wraps this in the root "job" span
   /// and flushes the collector to JobConfig::trace_path afterwards.
+  /// RunImpl validates the job, runs the committer's SetupJob guard, and
+  /// on any phase failure aborts the job output so nothing torn stays
+  /// visible.
   Status RunImpl(const Job& job, JobReport* report, MetricsRegistry* metrics,
                  TraceCollector* trace);
+
+  /// The phases themselves (plan, map, shuffle, reduce, output commit);
+  /// factored out so RunImpl can wrap every early return in the
+  /// abort-on-failure protocol. `committer` is null when the job has no
+  /// output path.
+  Status ExecutePhases(const Job& job, JobReport* report,
+                       MetricsRegistry* metrics, TraceCollector* trace,
+                       OutputCommitter* committer);
 
   /// Picks the execution node for a split: the least-loaded node holding
   /// all of the split's files, unless it is overloaded relative to a

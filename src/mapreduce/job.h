@@ -69,6 +69,21 @@ struct JobConfig {
   /// mapreduce.job.maxtaskfailures.per.tracker).
   int node_blacklist_failures = 3;
 
+  // ---- Straggler defense (DESIGN.md §11) ----
+  /// Per-attempt wall-clock deadline in milliseconds (mapreduce.task
+  /// .timeout, roughly). An attempt exceeding it fails with IoError and
+  /// falls back into the retry/blacklist machinery on a fresh node.
+  /// 0 (default) disables.
+  int task_timeout_ms = 0;
+  /// Hadoop-style speculative execution: once a running task's elapsed
+  /// time lags well behind the completed-task median, launch one backup
+  /// attempt of it on a different node; the first attempt to finish wins
+  /// (for output writes, via the OutputCommitter's atomic rename-or-lose
+  /// race) and the loser is discarded/aborted cleanly. Output is
+  /// byte-identical with speculation on or off. Effective only with
+  /// parallelism != 1 — the serial engine has no one to race.
+  bool speculative_execution = false;
+
   // ---- Block cache and readahead (DESIGN.md §9) ----
   /// Capacity of the shared cache of verified block bytes the job's
   /// readers go through. 0 (default) = no cache: every read pays the
@@ -203,6 +218,24 @@ struct JobReport {
   uint64_t shuffle_bytes = 0;
   /// Records entering each reduce partition, indexed by partition.
   std::vector<uint64_t> reduce_input_records;
+
+  // ---- Crash-safe commit + straggler defense (appended) ----
+  /// Speculative backup attempts launched / that finished first / that
+  /// lost the race to the original attempt.
+  uint64_t speculative_launched = 0;
+  uint64_t speculative_won = 0;
+  uint64_t speculative_lost = 0;
+  /// Output tasks whose attempt won the commit rename.
+  uint64_t tasks_committed = 0;
+  /// Task/job abort actions taken by the committer (lost races, failed
+  /// writes, failed jobs).
+  uint64_t commit_aborts = 0;
+  /// Block seals that failed under injected write faults, summed over
+  /// output-write attempts.
+  uint64_t write_faults = 0;
+  /// Output-write attempt re-executions (write fault or commit fault,
+  /// then retried on another node).
+  uint64_t write_retries = 0;
 };
 
 }  // namespace colmr

@@ -210,6 +210,56 @@ TEST(CacheReadThroughTest, DeleteAndReReplicateInvalidate) {
   EXPECT_EQ(fs->block_cache()->SizeBytes(), 0u);
 }
 
+TEST(CacheReadThroughTest, KilledNodeBytesStillServeFromCache) {
+  const std::string payload = Payload(3072);  // 3 blocks
+  auto fs = MakeFs("/f", payload);
+  MetricsRegistry metrics;
+  fs->EnsureBlockCache(1 << 20, &metrics);
+
+  // Warm the cache, then kill a replica holder. Cached bytes were
+  // checksum-verified at fill time, so the kill does NOT invalidate them:
+  // the generation only moves when replica contents change, not when the
+  // replica set shrinks.
+  ReadContext warm{0, nullptr};
+  warm.metrics = &metrics;
+  EXPECT_EQ(ReadAll(fs.get(), "/f", warm), payload);
+  std::vector<BlockInfo> blocks;
+  ASSERT_TRUE(fs->GetBlockLocations("/f", &blocks).ok());
+  ASSERT_TRUE(fs->KillNode(blocks[0].replicas[0]).ok());
+
+  IoStats stats;
+  ReadContext context{blocks[0].replicas[0], &stats};
+  context.metrics = &metrics;
+  EXPECT_EQ(ReadAll(fs.get(), "/f", context), payload);
+  EXPECT_EQ(stats.local_bytes + stats.remote_bytes, 0u);  // pure cache hits
+  EXPECT_EQ(metrics.Snapshot().counters.at("hdfs.cache.hits"), 3u);
+
+  // After repair (ReReplicate changes replica sets → generation bumps)
+  // reads still return pristine bytes — never a stale mix.
+  ASSERT_TRUE(fs->ReReplicate().ok());
+  IoStats after;
+  ReadContext repaired{1, &after};
+  repaired.metrics = &metrics;
+  EXPECT_EQ(ReadAll(fs.get(), "/f", repaired), payload);
+}
+
+TEST(CacheReadThroughTest, RenameIsMetadataOnlyAndKeepsCacheWarm) {
+  const std::string payload = Payload(2048);
+  auto fs = MakeFs("/f", payload);
+  fs->EnsureBlockCache(1 << 20, nullptr);
+  EXPECT_EQ(ReadAll(fs.get(), "/f", ReadContext{0, nullptr}), payload);
+  const uint64_t warm_bytes = fs->block_cache()->SizeBytes();
+  EXPECT_GT(warm_bytes, 0u);
+
+  // Rename moves namespace entries only: block ids, generations, and the
+  // cached verified bytes all stay valid under the new name.
+  ASSERT_TRUE(fs->Rename("/f", "/g").ok());
+  EXPECT_EQ(fs->block_cache()->SizeBytes(), warm_bytes);
+  IoStats stats;
+  EXPECT_EQ(ReadAll(fs.get(), "/g", ReadContext{0, &stats}), payload);
+  EXPECT_EQ(stats.local_bytes + stats.remote_bytes, 0u);  // served warm
+}
+
 TEST(CacheReadThroughTest, BufferedReaderServesViewsAcrossBlockBoundaries) {
   // Stream the file through BufferedReader twice; the second pass runs in
   // pinned zero-copy mode and must yield identical bytes, including

@@ -257,6 +257,119 @@ TEST(SlowNodeTest, StallLatencyIsCharged) {
   EXPECT_DOUBLE_EQ(again.stall_seconds, stats.stall_seconds);
 }
 
+// ---- Write-path faults (DESIGN.md §11) ----
+
+TEST(WriteFaultTest, SealFaultMakesWriterStickyAndCharges) {
+  auto fs = std::make_unique<MiniHdfs>(
+      SmallCluster(), std::make_unique<DefaultPlacementPolicy>());
+  FaultConfig faults;
+  faults.write_error_p = 1.0;
+  fs->SetFaultConfig(faults);
+
+  IoStats stats;
+  WriteContext context{1, &stats, /*fault_salt=*/7};
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/w", context, &writer).ok());
+  writer->Append(Payload(3000));  // 3 blocks' worth
+  EXPECT_TRUE(writer->Close().IsIoError());
+  // Sticky: the FIRST seal fails and the writer stays failed — one fault
+  // charged, not one per block, and later Appends are dropped.
+  EXPECT_EQ(stats.write_faults, 1u);
+  EXPECT_FALSE(writer->status().ok());
+  writer->Append("more");
+  EXPECT_TRUE(writer->Close().IsIoError());
+
+  // The torn file is what the commit protocol must hide: it exists, with
+  // only the blocks sealed before the fault (none here).
+  EXPECT_TRUE(fs->Exists("/w"));
+}
+
+TEST(WriteFaultTest, ScheduleIsDeterministicAndSaltKeyed) {
+  FaultConfig faults;
+  faults.seed = 11;
+  faults.write_error_p = 0.4;
+  const FaultInjector injector(faults);
+  const uint64_t wkey = FaultInjector::PathKey("/out/part-r-00000");
+  // Pure function of the draw coordinates.
+  for (uint64_t draw = 0; draw < 8; ++draw) {
+    EXPECT_EQ(injector.WriteAttemptFails(wkey, 2, 5, draw),
+              injector.WriteAttemptFails(wkey, 2, 5, draw));
+  }
+  // A fresh attempt (new salt) draws a different schedule somewhere.
+  bool any_differs = false;
+  for (uint64_t draw = 0; draw < 32 && !any_differs; ++draw) {
+    any_differs = injector.WriteAttemptFails(wkey, 2, 5, draw) !=
+                  injector.WriteAttemptFails(wkey, 2, 6, draw);
+  }
+  EXPECT_TRUE(any_differs);
+  EXPECT_EQ(FaultInjector::PathKey("/a"), FaultInjector::PathKey("/a"));
+  EXPECT_NE(FaultInjector::PathKey("/a"), FaultInjector::PathKey("/b"));
+}
+
+TEST(WriteFaultTest, SlowWriteNodeStallsAndChargesLikeSlowReads) {
+  auto fs = std::make_unique<MiniHdfs>(
+      SmallCluster(), std::make_unique<DefaultPlacementPolicy>());
+  FaultConfig faults;
+  faults.slow_write_nodes = {2};
+  faults.slow_write_latency_ms = 5;
+  fs->SetFaultConfig(faults);
+
+  IoStats stats;
+  WriteContext context{2, &stats};
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/w", context, &writer).ok());
+  writer->Append(Payload(600));  // one block
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_DOUBLE_EQ(stats.stall_seconds, 0.005);
+
+  // A writer on a fast node pays nothing.
+  IoStats fast;
+  WriteContext fast_context{3, &fast};
+  ASSERT_TRUE(fs->Create("/w2", fast_context, &writer).ok());
+  writer->Append(Payload(600));
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_DOUBLE_EQ(fast.stall_seconds, 0.0);
+}
+
+TEST(WriteFaultTest, WriteDeathKillsTheNodeAtFirstSeal) {
+  auto fs = std::make_unique<MiniHdfs>(
+      SmallCluster(), std::make_unique<DefaultPlacementPolicy>());
+  FaultConfig faults;
+  faults.write_death_nodes = {3};
+  fs->SetFaultConfig(faults);
+
+  IoStats stats;
+  WriteContext context{3, &stats};
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/w", context, &writer).ok());
+  writer->Append(Payload(600));
+  EXPECT_TRUE(writer->Close().IsIoError());
+  EXPECT_TRUE(fs->IsNodeDead(3));
+  EXPECT_EQ(stats.write_faults, 1u);
+
+  // A retry from a surviving node succeeds.
+  IoStats retry_stats;
+  WriteContext retry{4, &retry_stats, /*fault_salt=*/1};
+  ASSERT_TRUE(fs->Create("/w2", retry, &writer).ok());
+  writer->Append(Payload(600));
+  ASSERT_TRUE(writer->Close().ok());
+}
+
+TEST(WriteFaultTest, CommitDrawsAreDeterministic) {
+  FaultConfig faults;
+  faults.seed = 5;
+  faults.task_commit_error_p = 0.5;
+  faults.job_commit_error_p = 0.5;
+  const FaultInjector injector(faults);
+  const uint64_t key = FaultInjector::PathKey("r_00003");
+  for (uint64_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(injector.TaskCommitFails(key, attempt, 0),
+              injector.TaskCommitFails(key, attempt, 0));
+    EXPECT_EQ(injector.JobCommitFails(7, attempt),
+              injector.JobCommitFails(7, attempt));
+  }
+}
+
 TEST(ReaderSnapshotTest, DeleteDuringReadIsSafe) {
   const std::string payload = Payload(2500);
   auto fs = MakeFs("/f", payload);

@@ -109,6 +109,77 @@ TEST(MiniHdfsTest, ListDirAndDelete) {
   EXPECT_TRUE(fs->Delete("/d/s0/a.col").IsNotFound());
 }
 
+TEST(MiniHdfsTest, RenameMovesFileAtomically) {
+  auto fs = MakeFs();
+  const std::string payload = Pattern(2500);
+  std::unique_ptr<FileWriter> writer;
+  ASSERT_TRUE(fs->Create("/a/f", &writer).ok());
+  writer->Append(payload);
+  ASSERT_TRUE(writer->Close().ok());
+
+  ASSERT_TRUE(fs->Rename("/a/f", "/b/f").ok());
+  EXPECT_FALSE(fs->Exists("/a/f"));
+  ASSERT_TRUE(fs->Exists("/b/f"));
+  // Metadata-only move: the bytes (and their checksums) read back intact
+  // at the new name.
+  std::unique_ptr<FileReader> reader;
+  ASSERT_TRUE(fs->Open("/b/f", ReadContext{}, &reader).ok());
+  std::string got;
+  ASSERT_TRUE(reader->Read(0, payload.size(), &got).ok());
+  EXPECT_EQ(got, payload);
+
+  EXPECT_TRUE(fs->Rename("/missing", "/x").IsNotFound());
+  EXPECT_TRUE(fs->Rename("relative", "/x").IsInvalidArgument());
+  EXPECT_TRUE(fs->Rename("/b/f", "relative").IsInvalidArgument());
+}
+
+TEST(MiniHdfsTest, RenameMovesDirectoriesAndRefusesCollisions) {
+  auto fs = MakeFs();
+  for (const char* path : {"/d/x", "/d/sub/y", "/e/x"}) {
+    std::unique_ptr<FileWriter> writer;
+    ASSERT_TRUE(fs->Create(path, &writer).ok());
+    writer->Append(Slice(path));
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Directory rename moves every file under the prefix.
+  ASSERT_TRUE(fs->Rename("/d", "/moved").ok());
+  EXPECT_FALSE(fs->Exists("/d/x"));
+  EXPECT_TRUE(fs->Exists("/moved/x"));
+  EXPECT_TRUE(fs->Exists("/moved/sub/y"));
+
+  // A destination collision fails the WHOLE rename before moving
+  // anything — the atomicity CommitTask's rename-or-lose race rests on.
+  ASSERT_TRUE(fs->Rename("/moved", "/e").IsAlreadyExists());
+  EXPECT_TRUE(fs->Exists("/moved/x"));
+  EXPECT_TRUE(fs->Exists("/moved/sub/y"));
+  EXPECT_TRUE(fs->Exists("/e/x"));
+
+  // Renaming a directory into itself is rejected, not an infinite loop.
+  EXPECT_TRUE(fs->Rename("/moved", "/moved/inner").IsInvalidArgument());
+}
+
+TEST(MiniHdfsTest, DeleteRecursiveRemovesTreeAndIsIdempotent) {
+  auto fs = MakeFs();
+  for (const char* path : {"/t/a", "/t/sub/b", "/t/sub/deep/c", "/keep"}) {
+    std::unique_ptr<FileWriter> writer;
+    ASSERT_TRUE(fs->Create(path, &writer).ok());
+    writer->Append(Slice("x"));
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  ASSERT_TRUE(fs->DeleteRecursive("/t").ok());
+  EXPECT_FALSE(fs->Exists("/t/a"));
+  EXPECT_FALSE(fs->Exists("/t/sub/b"));
+  EXPECT_FALSE(fs->Exists("/t/sub/deep/c"));
+  EXPECT_TRUE(fs->Exists("/keep"));
+  std::vector<std::string> children;
+  EXPECT_FALSE(fs->ListDir("/t", &children).ok());
+  // Idempotent: deleting what is already gone is OK, not NotFound.
+  EXPECT_TRUE(fs->DeleteRecursive("/t").ok());
+  // Exact-file form works too.
+  EXPECT_TRUE(fs->DeleteRecursive("/keep").ok());
+  EXPECT_FALSE(fs->Exists("/keep"));
+}
+
 TEST(PlacementTest, SplitDirectoryNaming) {
   EXPECT_EQ(SplitDirectoryOf("/data/x/s0/url.col"), "/data/x/s0");
   EXPECT_EQ(SplitDirectoryOf("/data/x/s123/url.col"), "/data/x/s123");

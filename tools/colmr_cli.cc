@@ -15,12 +15,25 @@
 //   colmr rerep <image>                         re-replicate lost replicas
 //   colmr corrupt <image> <file> <block> <replica>
 //                                               flip a bit in one replica
-//   colmr scan  <image> <dataset> [p] [--batch-rows=N]
+//   colmr scan  <image> <dataset> [p] [--batch-rows=N] [--out=PATH]
+//               [--speculative] [--task-timeout-ms=N]
+//               [--write-error-p=P] [--task-commit-error-p=P]
+//               [--job-commit-error-p=P] [--slow-write-node=N]
+//               [--slow-write-ms=MS] [--write-death-node=N]
 //                                               run a scan job; with p > 0,
 //                                               inject transient read
 //                                               errors with probability p
 //                                               (--batch-rows=1 disables
-//                                               the vectorized map loop)
+//                                               the vectorized map loop).
+//                                               --out turns the scan into a
+//                                               record-count MapReduce job
+//                                               whose output commits
+//                                               atomically to PATH
+//                                               (DESIGN.md §11); the
+//                                               remaining flags inject
+//                                               write/commit faults and
+//                                               enable the straggler
+//                                               defenses
 //   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
 //               [--batch-rows=N]
@@ -384,11 +397,33 @@ int CmdCorrupt(const std::string& image, int argc, char** argv) {
 
 int CmdScan(const std::string& image, int argc, char** argv) {
   uint64_t batch_rows = 0;
+  std::string out_path;
+  bool speculative = false;
+  int task_timeout_ms = 0;
+  FaultConfig faults;
   std::vector<std::string> positional;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--batch-rows=", 0) == 0) {
       batch_rows = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--speculative") {
+      speculative = true;
+    } else if (arg.rfind("--task-timeout-ms=", 0) == 0) {
+      task_timeout_ms = std::atoi(arg.c_str() + 18);
+    } else if (arg.rfind("--write-error-p=", 0) == 0) {
+      faults.write_error_p = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--task-commit-error-p=", 0) == 0) {
+      faults.task_commit_error_p = std::atof(arg.c_str() + 22);
+    } else if (arg.rfind("--job-commit-error-p=", 0) == 0) {
+      faults.job_commit_error_p = std::atof(arg.c_str() + 21);
+    } else if (arg.rfind("--slow-write-node=", 0) == 0) {
+      faults.slow_write_nodes.insert(std::atoi(arg.c_str() + 18));
+    } else if (arg.rfind("--slow-write-ms=", 0) == 0) {
+      faults.slow_write_latency_ms = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--write-death-node=", 0) == 0) {
+      faults.write_death_nodes.insert(std::atoi(arg.c_str() + 19));
     } else {
       positional.push_back(arg);
     }
@@ -399,18 +434,45 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   Status s;
   auto fs = LoadFs(image, &s);
   if (!s.ok()) return Fail(s);
-  if (p > 0) {
-    FaultConfig faults;
-    faults.read_error_p = p;
-    fs->SetFaultConfig(faults);
+  if (p > 0) faults.read_error_p = p;
+  if (faults.active()) fs->SetFaultConfig(faults);
+
+  // Up-front output guard (same rule the engine's committer enforces):
+  // refuse to run a single task against an output path that already
+  // exists, with an error that names the path.
+  if (!out_path.empty()) {
+    std::vector<std::string> children;
+    if (fs->Exists(out_path) || fs->ListDir(out_path, &children).ok()) {
+      return Fail(Status::InvalidArgument(
+          "output path already exists: " + out_path +
+          " (delete it or choose another --out)"));
+    }
   }
 
   Job job;
   job.config.input_paths = {path};
   if (batch_rows > 0) job.config.batch_rows = batch_rows;
+  job.config.task_timeout_ms = task_timeout_ms;
+  job.config.speculative_execution = speculative;
   s = DetectInputFormat(fs.get(), path, &job.input_format, nullptr);
   if (!s.ok()) return Fail(s);
-  job.mapper = [](Record&, Emitter*) {};
+  if (out_path.empty()) {
+    job.mapper = [](Record&, Emitter*) {};
+  } else {
+    // With --out the scan becomes a tiny MapReduce job — count records —
+    // so the full commit protocol (attempt dirs, atomic task commit, job
+    // commit, _SUCCESS) runs against the configured faults.
+    job.config.output_path = out_path;
+    job.mapper = [](Record&, Emitter* out) {
+      out->Emit(Value::String("records"), Value::Int64(1));
+    };
+    job.reducer = [](const Value& key, const std::vector<Value>& values,
+                     Emitter* out) {
+      int64_t sum = 0;
+      for (const Value& v : values) sum += v.int64_value();
+      out->Emit(key, Value::Int64(sum));
+    };
+  }
 
   JobRunner runner(fs.get());
   JobReport report;
@@ -432,6 +494,20 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   } else {
     for (NodeId node : report.blacklisted_nodes) std::printf(" %d", node);
     std::printf("\n");
+  }
+  if (!out_path.empty()) {
+    std::printf(
+        "output commit: %llu tasks committed, %llu aborts, _SUCCESS %s\n"
+        "write faults: %llu (%llu write retries)\n"
+        "speculative: %llu launched, %llu won, %llu lost\n",
+        static_cast<unsigned long long>(report.tasks_committed),
+        static_cast<unsigned long long>(report.commit_aborts),
+        fs->Exists(out_path + "/_SUCCESS") ? "present" : "absent",
+        static_cast<unsigned long long>(report.write_faults),
+        static_cast<unsigned long long>(report.write_retries),
+        static_cast<unsigned long long>(report.speculative_launched),
+        static_cast<unsigned long long>(report.speculative_won),
+        static_cast<unsigned long long>(report.speculative_lost));
   }
   if (!s.ok()) return Fail(s);
   // Persist replica-health marks the scan reported, so a following
