@@ -1,0 +1,68 @@
+#ifndef COLMR_COMMON_HASH_H_
+#define COLMR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace colmr {
+
+// Specified, platform-stable hashing (DESIGN.md §12). Everything that
+// feeds a persisted or cross-run-comparable decision — shuffle partition
+// assignment, SEQ/RCFile sync markers — must hash through these functions
+// rather than std::hash, whose result is implementation-defined: the same
+// key hashed with libstdc++ and libc++ lands in different reduce
+// partitions, so the same job writes different part-r-NNNNN files on
+// different platforms. The algorithms below are fixed by this header; any
+// change to them is a deliberate on-disk/output format break.
+
+/// splitmix64 finalizer (Steele et al.): a bijective 64-bit mix with full
+/// avalanche. Used standalone to diffuse small structured inputs (seeds,
+/// counters) and as the finalizer of Fnv1a64.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline constexpr uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv64Prime = 0x100000001b3ull;
+
+/// Streaming FNV-1a (64-bit) with a splitmix64 finalizer. Byte-order
+/// independent by construction (it consumes bytes, not words), so the
+/// digest of a given byte sequence is identical on every platform.
+/// The seed is diffused into the offset basis, giving cheaply
+/// independent hash families from one stream of bytes.
+class Fnv1a64 {
+ public:
+  explicit Fnv1a64(uint64_t seed = 0)
+      : state_(kFnv64OffsetBasis ^ SplitMix64(seed)) {}
+
+  void Update(uint8_t byte) { state_ = (state_ ^ byte) * kFnv64Prime; }
+
+  void Update(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) state_ = (state_ ^ p[i]) * kFnv64Prime;
+  }
+
+  void Update(Slice s) { Update(s.data(), s.size()); }
+
+  /// Digest of the bytes consumed so far; does not disturb the stream.
+  uint64_t Digest() const { return SplitMix64(state_); }
+
+ private:
+  uint64_t state_;
+};
+
+/// One-shot convenience: Fnv1a64(seed) over `data`, finalized.
+inline uint64_t HashBytes(Slice data, uint64_t seed = 0) {
+  Fnv1a64 h(seed);
+  h.Update(data);
+  return h.Digest();
+}
+
+}  // namespace colmr
+
+#endif  // COLMR_COMMON_HASH_H_

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <functional>
 
 #include "common/coding.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "formats/text/text_format.h"
 #include "serde/encoding.h"
@@ -16,6 +16,11 @@ namespace {
 constexpr char kMagic[4] = {'R', 'C', 'F', '1'};
 constexpr size_t kSyncSize = 16;
 constexpr uint32_t kSyncEscape = 0xFFFFFFFFu;
+
+/// Domain seed for sync-marker derivation: a specified hash of the path
+/// (common/hash.h), not std::hash — the marker bytes must be identical on
+/// every platform/stdlib. RcFileTest.SyncMarkerBytesArePinned pins them.
+constexpr uint64_t kRcSyncSeed = 0x5243463153594e43ull;  // "RCF1SYNC"
 
 std::string MakeSyncMarker(uint64_t seed) {
   Random rng(seed);
@@ -51,7 +56,7 @@ Status RcFileWriter::Open(MiniHdfs* fs, const std::string& path,
   std::unique_ptr<FileWriter> file;
   COLMR_RETURN_IF_ERROR(fs->Create(path + "/part-00000", &file));
 
-  std::string sync = MakeSyncMarker(std::hash<std::string>()(path) ^ 0x5C31);
+  std::string sync = MakeSyncMarker(HashBytes(path, kRcSyncSeed));
   Buffer header;
   header.Append(Slice(kMagic, 4));
   PutLengthPrefixed(&header, schema->ToString());

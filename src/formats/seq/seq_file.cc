@@ -1,9 +1,9 @@
 #include "formats/seq/seq_file.h"
 
 #include <cstring>
-#include <functional>
 
 #include "common/coding.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "formats/text/text_format.h"
 #include "serde/encoding.h"
@@ -15,6 +15,13 @@ namespace {
 constexpr char kMagic[4] = {'S', 'E', 'Q', '6'};
 constexpr size_t kSyncSize = 16;
 constexpr uint32_t kSyncEscape = 0xFFFFFFFFu;
+
+/// Domain seed for sync-marker derivation. The marker is a pure function
+/// of (this constant, the dataset path) through the specified FNV-1a +
+/// splitmix64 hash — NOT std::hash, whose implementation-defined result
+/// made files written on one platform mismatch goldens from another.
+/// SeqTest.SyncMarkerBytesArePinned pins the derived bytes.
+constexpr uint64_t kSeqSyncSeed = 0x5345513653594e43ull;  // "SEQ6SYNC"
 
 std::string MakeSyncMarker(uint64_t seed) {
   Random rng(seed);
@@ -46,7 +53,7 @@ Status SeqWriter::Open(MiniHdfs* fs, const std::string& path,
   std::unique_ptr<FileWriter> file;
   COLMR_RETURN_IF_ERROR(fs->Create(path + "/part-00000", &file));
 
-  std::string sync = MakeSyncMarker(std::hash<std::string>()(path));
+  std::string sync = MakeSyncMarker(HashBytes(path, kSeqSyncSeed));
   Buffer header;
   header.Append(Slice(kMagic, 4));
   PutLengthPrefixed(&header, schema->ToString());

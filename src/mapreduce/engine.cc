@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mapreduce/committer.h"
+#include "mapreduce/spill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serde/encoding.h"
@@ -108,6 +109,10 @@ struct ReduceTaskResult {
   std::vector<std::pair<Value, Value>> pairs;
   double cpu_seconds = 0;
   uint64_t input_records = 0;
+  /// Run segments this reducer's final merge consumed (external shuffle).
+  uint64_t segments_merged = 0;
+  /// External shuffle: a spill-read failure in this partition's merge.
+  Status status;
 };
 
 /// Per-job failure bookkeeping shared by concurrently retrying tasks: how
@@ -178,6 +183,11 @@ bool SplitIsLocalTo(const InputSplit& split, NodeId node) {
 /// them disjoint from map-attempt salts (split * 131 + attempt) — see the
 /// draw-keying contract in fault_injector.h.
 constexpr uint64_t kReduceWriteSaltDomain = 0x8000000000000000ull;
+/// Fault-salt domains for spill-run writes (map side) and intermediate
+/// merge-run writes: each gets its own high bits so write-fault draws
+/// never collide across the three write paths of one job.
+constexpr uint64_t kSpillWriteSaltDomain = 0x4000000000000000ull;
+constexpr uint64_t kMergeWriteSaltDomain = 0xC000000000000000ull;
 
 /// Shared state of one map task's attempts under speculative execution.
 /// The mutex serializes "who records the task's result": exactly one of
@@ -211,10 +221,17 @@ struct TaskControl {
 
 /// Everything one map task hands back to the merge step. Each task owns
 /// its TaskReport (and the IoStats inside it) exclusively while running;
-/// nothing is written to shared sinks until the join.
+/// nothing is written to shared sinks until the join. Exactly one of
+/// `pairs` (in-memory shuffle) and `runs` (external shuffle) is used.
 struct JobRunner::MapTaskResult {
   TaskReport task;
   std::vector<std::pair<Value, Value>> pairs;
+  std::vector<SpillRun> runs;
+  uint64_t spills = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t records_spilled = 0;
+  uint64_t kv_bytes_spilled = 0;
+  uint64_t peak_buffer_bytes = 0;
   Status status;
 };
 
@@ -329,6 +346,47 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
     prefetch_pool = std::make_unique<ThreadPool>(2);
   }
 
+  // ---- External sort-merge shuffle setup (DESIGN.md §12). The reducer
+  // count is fixed before any map task runs because the external path
+  // partitions at emit time. Map-only jobs have no shuffle to externalize,
+  // so sort_buffer_bytes is ignored for them.
+  const int num_reducers =
+      job.reducer ? (job.config.num_reduce_tasks > 0
+                         ? job.config.num_reduce_tasks
+                         : fs_->config().num_nodes *
+                               fs_->config().reduce_slots_per_node)
+                  : 0;
+  const bool external_shuffle =
+      job.config.sort_buffer_bytes > 0 && job.reducer != nullptr;
+  if (external_shuffle && GetCodec(job.config.spill_codec) == nullptr) {
+    return Status::InvalidArgument("unknown spill codec");
+  }
+  // Spill scratch: with a committer, runs live inside the task attempt's
+  // _temporary scratch (CommitJob/AbortJob tear them down with it); a job
+  // with no output path gets a private /_shuffle directory, removed on
+  // every exit path by the guard below.
+  std::string scratch_root;
+  if (external_shuffle && committer == nullptr) {
+    static std::atomic<uint64_t> scratch_seq{0};
+    scratch_root = "/_shuffle/job-" + std::to_string(scratch_seq.fetch_add(1));
+  }
+  struct ScratchGuard {
+    MiniHdfs* fs;
+    std::string root;
+    ~ScratchGuard() {
+      if (!root.empty()) fs->DeleteRecursive(root);
+    }
+  } scratch_guard{fs_, scratch_root};
+  auto spill_dir = [&](size_t split, int attempt) -> std::string {
+    char task_id[32];
+    std::snprintf(task_id, sizeof(task_id), "m_%05zu", split);
+    if (committer != nullptr) {
+      return committer->TaskAttemptDir(task_id, attempt);
+    }
+    return scratch_root + "/attempt_" + task_id + "_" +
+           std::to_string(attempt);
+  };
+
   Counter* m_tasks_launched = metrics->counter("mr.task.launched");
   Counter* m_task_retries = metrics->counter("mr.task.retries");
   Counter* m_nodes_blacklisted = metrics->counter("mr.node.blacklisted");
@@ -409,9 +467,9 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
   // discarded either way, and a losing straggler must not hold the job's
   // wall clock hostage.
   auto run_attempt = [&](size_t i, int attempt, NodeId node, bool data_local,
-                         TaskReport* task,
-                         std::vector<std::pair<Value, Value>>* pairs,
+                         MapTaskResult* out,
                          const std::atomic<bool>* superseded) {
+    TaskReport* task = &out->task;
     task->split_index = static_cast<int>(i);
     task->node = node;
     task->data_local = data_local;
@@ -446,6 +504,29 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
     Status status = job.input_format->CreateRecordReader(
         fs_, job.config, splits[i], context, &reader);
     if (status.ok()) {
+      // External shuffle: the task's emitter is a bounded sort buffer that
+      // spills sorted runs into this attempt's private scratch. Spill
+      // writes draw from their own fault-salt domain, so injected write
+      // faults hit spills and output writes independently.
+      std::unique_ptr<MapOutputBuffer> spill_buffer;
+      if (external_shuffle) {
+        MapOutputBuffer::Options opts;
+        opts.fs = fs_;
+        opts.scratch_dir = spill_dir(i, attempt);
+        opts.write_context =
+            WriteContext{node, &task->io,
+                         kSpillWriteSaltDomain |
+                             (static_cast<uint64_t>(i) * 131 +
+                              static_cast<uint64_t>(attempt)),
+                         metrics};
+        opts.num_partitions = num_reducers;
+        opts.sort_buffer_bytes = job.config.sort_buffer_bytes;
+        opts.combiner = job.combiner ? &job.combiner : nullptr;
+        opts.codec = job.config.spill_codec;
+        opts.metrics = metrics;
+        opts.trace = trace;
+        spill_buffer = std::make_unique<MapOutputBuffer>(std::move(opts));
+      }
       // Per-attempt wall-clock deadline (task_timeout_ms) and supersede
       // polling. Both checks are cheap but not free (a steady_clock read,
       // an atomic load), so the scalar loop polls every 64 records and
@@ -454,7 +535,8 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
       const double timeout_seconds = job.config.task_timeout_ms > 0
                                          ? job.config.task_timeout_ms / 1e3
                                          : 0;
-      const bool poll = timeout_seconds > 0 || superseded != nullptr;
+      const bool poll = timeout_seconds > 0 || superseded != nullptr ||
+                        spill_buffer != nullptr;
       Stopwatch attempt_watch;
       Status abort_status;
       auto interrupted = [&]() -> bool {
@@ -464,6 +546,12 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
           abort_status = Status::IoError("attempt superseded: task " +
                                          std::to_string(i) +
                                          " already has a recorded result");
+          return true;
+        }
+        if (spill_buffer != nullptr && !spill_buffer->status().ok()) {
+          // A spill write failed; the buffer is sticky-bad and mapping on
+          // would only drop output. Fail the attempt into the retry path.
+          abort_status = spill_buffer->status();
           return true;
         }
         if (timeout_seconds > 0 &&
@@ -477,13 +565,16 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         return false;
       };
       VectorEmitter emitter;
+      Emitter* map_out =
+          spill_buffer != nullptr ? static_cast<Emitter*>(spill_buffer.get())
+                                  : &emitter;
       ThreadCpuStopwatch watch;
       if (job.config.batch_rows <= 1) {
         // Scalar path, bit-for-bit the pre-batch engine.
         uint64_t tick = 0;
         while (reader->Next()) {
           if ((++tick & 63) == 0 && interrupted()) break;
-          job.mapper(reader->record(), &emitter);
+          job.mapper(reader->record(), map_out);
           ++task->input_records;
         }
       } else {
@@ -491,14 +582,17 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         while ((filled = reader->FillBatch(job.config.batch_rows)) > 0) {
           if (interrupted()) break;
           for (uint64_t r = 0; r < filled; ++r) {
-            job.mapper(reader->RecordAt(r), &emitter);
+            job.mapper(reader->RecordAt(r), map_out);
           }
           task->input_records += filled;
         }
       }
-      // Map-side combine: sort this task's output, fold runs of equal keys
-      // through the combiner, and ship the (usually much smaller) result.
-      if (abort_status.ok() && job.combiner && !emitter.pairs().empty()) {
+      // Map-side combine (in-memory path; the spill buffer combines at
+      // spill time instead): sort this task's output, fold runs of equal
+      // keys through the combiner, and ship the (usually much smaller)
+      // result.
+      if (abort_status.ok() && spill_buffer == nullptr && job.combiner &&
+          !emitter.pairs().empty()) {
         auto& all = emitter.pairs();
         std::stable_sort(all.begin(), all.end(),
                          [](const auto& a, const auto& b) {
@@ -508,10 +602,25 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         FoldSortedRuns(&all, job.combiner, &combined);
         all = std::move(combined.pairs());
       }
+      // External shuffle: spill the buffer's tail inside the CPU window —
+      // the final sort is map work like the in-memory combine above.
+      if (abort_status.ok() && spill_buffer != nullptr) {
+        abort_status = spill_buffer->Finish();
+      }
       task->cpu_seconds = watch.ElapsedSeconds();
       status = abort_status.ok() ? reader->status() : abort_status;
-      task->output_records = emitter.pairs().size();
-      *pairs = std::move(emitter.pairs());
+      if (spill_buffer != nullptr) {
+        out->runs = spill_buffer->TakeRuns();
+        out->spills = spill_buffer->spills();
+        out->spilled_bytes = spill_buffer->spilled_bytes();
+        out->records_spilled = spill_buffer->records_spilled();
+        out->kv_bytes_spilled = spill_buffer->kv_bytes_spilled();
+        out->peak_buffer_bytes = spill_buffer->peak_buffer_bytes();
+        task->output_records = spill_buffer->records_spilled();
+      } else {
+        task->output_records = emitter.pairs().size();
+        out->pairs = std::move(emitter.pairs());
+      }
       if (task_span.active()) {
         task_span.AddArg("input_records", task->input_records);
         task_span.AddArg("output_records", task->output_records);
@@ -547,23 +656,21 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
       }
       const NodeId node =
           PickRetryNode(*fs_, splits[i], tried, retry, assigned_node[i]);
-      TaskReport task;
-      std::vector<std::pair<Value, Value>> pairs;
+      MapTaskResult local;
       Status status = run_attempt(i, max_attempts, node,
-                                  SplitIsLocalTo(splits[i], node), &task,
-                                  &pairs, supersede_flag);
+                                  SplitIsLocalTo(splits[i], node), &local,
+                                  supersede_flag);
       bool won = false;
       {
         std::lock_guard<std::mutex> lock(ctrl.mu);
         ctrl.backup_inflight = false;
         if (status.ok() && !ctrl.recorded) {
           ctrl.recorded = true;
-          task.attempts = 1;
-          task.sim_seconds =
-              cost_model_.TaskSeconds({task.cpu_seconds, task.io});
-          results[i].task = std::move(task);
-          results[i].pairs = std::move(pairs);
-          results[i].status = Status::OK();
+          local.task.attempts = 1;
+          local.task.sim_seconds = cost_model_.TaskSeconds(
+              {local.task.cpu_seconds, local.task.io});
+          local.status = Status::OK();
+          results[i] = std::move(local);
           ctrl.done.store(true, std::memory_order_relaxed);
           tasks_recorded.fetch_add(1);
           won = true;
@@ -613,18 +720,17 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         ctrl.tried.insert(node);
       }
 
-      TaskReport task;
-      std::vector<std::pair<Value, Value>> pairs;
-      Status status = run_attempt(i, attempt, node, data_local, &task, &pairs,
-                                  supersede_flag);
+      MapTaskResult local;
+      Status status =
+          run_attempt(i, attempt, node, data_local, &local, supersede_flag);
 
       // DataLoss is terminal: no replica anywhere can serve the bytes, so
       // burning the remaining attempts (or blaming the node) is wrong.
       if (status.ok() || status.IsDataLoss() || attempt + 1 >= max_attempts) {
-        task.attempts = attempt + 1;
+        local.task.attempts = attempt + 1;
         // The task's cost includes what its failed attempts consumed.
-        task.cpu_seconds += failed_cpu;
-        task.io.Add(failed_io);
+        local.task.cpu_seconds += failed_cpu;
+        local.task.io.Add(failed_io);
         std::lock_guard<std::mutex> lock(ctrl.mu);
         if (ctrl.recorded) return;  // the backup finished first
         if (!status.ok() && ctrl.backup_inflight) {
@@ -637,11 +743,10 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         ctrl.recorded = true;
         ctrl.duration = phase_clock.ElapsedSeconds() -
                         ctrl.started_at.load(std::memory_order_relaxed);
-        task.sim_seconds =
-            cost_model_.TaskSeconds({task.cpu_seconds, task.io});
-        results[i].task = std::move(task);
-        results[i].pairs = std::move(pairs);
-        results[i].status = std::move(status);
+        local.task.sim_seconds =
+            cost_model_.TaskSeconds({local.task.cpu_seconds, local.task.io});
+        local.status = std::move(status);
+        results[i] = std::move(local);
         ctrl.done.store(true, std::memory_order_relaxed);
         tasks_recorded.fetch_add(1);
         return;
@@ -661,8 +766,8 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         TraceInstant(trace, "node_blacklisted", "mr",
                      {{"node", TraceCollector::JsonValue(node)}});
       }
-      failed_cpu += task.cpu_seconds;
-      failed_io.Add(task.io);
+      failed_cpu += local.task.cpu_seconds;
+      failed_io.Add(local.task.io);
     }
   };
 
@@ -748,6 +853,10 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
     }
     report->checksum_failures += result.task.io.checksum_failures;
     report->failover_reads += result.task.io.failover_reads;
+    // Spill-write faults of every attempt, winning or not (the in-memory
+    // map path writes nothing, so this is zero there); reduce-output
+    // faults are added where those writes happen.
+    report->write_faults += result.task.io.write_faults;
   }
   report->blacklisted_nodes = retry.blacklisted();
   report->peak_node_slots = gate.peaks();
@@ -756,6 +865,10 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
   // map output (and everything derived from it) is byte-identical to the
   // serial engine's.
   std::vector<std::pair<Value, Value>> map_output;
+  // External shuffle: winning tasks' runs, in (split, spill) order — the
+  // global sequence order the merge's tie-break reproduces stable sorting
+  // with.
+  std::vector<SpillRun> all_runs;
   std::vector<double> task_times;
   task_times.reserve(splits.size());
   for (MapTaskResult& result : results) {
@@ -774,10 +887,21 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
       report->remote_tasks += 1;
     }
 
-    for (auto& pair : result.pairs) {
-      report->map_output_bytes +=
-          TaggedEncodedSize(pair.first) + TaggedEncodedSize(pair.second);
-      map_output.push_back(std::move(pair));
+    if (external_shuffle) {
+      // Post-spill-combine tagged bytes: the external analog of the
+      // in-memory sum below (which also measures post-combine pairs).
+      report->map_output_bytes += result.kv_bytes_spilled;
+      report->spill_count += result.spills;
+      report->spill_bytes += result.spilled_bytes;
+      report->peak_spill_buffer_bytes = std::max(
+          report->peak_spill_buffer_bytes, result.peak_buffer_bytes);
+      for (SpillRun& run : result.runs) all_runs.push_back(std::move(run));
+    } else {
+      for (auto& pair : result.pairs) {
+        report->map_output_bytes +=
+            TaggedEncodedSize(pair.first) + TaggedEncodedSize(pair.second);
+        map_output.push_back(std::move(pair));
+      }
     }
     report->map_tasks.push_back(std::move(task));
   }
@@ -793,21 +917,102 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
 
   // ---- Shuffle + reduce (skipped for map-only jobs).
   if (job.reducer) {
-    const int num_reducers =
-        job.config.num_reduce_tasks > 0
-            ? job.config.num_reduce_tasks
-            : fs_->config().num_nodes * fs_->config().reduce_slots_per_node;
-
-    // Partition by key hash, then sort each partition (Hadoop's
-    // sort-merge shuffle, collapsed to an in-memory sort). Partition
-    // contents keep map-output order, so the per-partition stable sort is
-    // deterministic too.
-    std::vector<std::vector<std::pair<Value, Value>>> partitions(num_reducers);
-    {
+    std::vector<std::vector<std::pair<Value, Value>>> partitions;
+    std::vector<SpillRun> final_runs;
+    if (external_shuffle) {
+      // ---- Intermediate merge passes (io.sort.factor): while more runs
+      // exist than merge_factor, merge contiguous groups of merge_factor
+      // runs into one run each. Contiguous grouping preserves the global
+      // sequence order, so the final merge's tie-break semantics are
+      // unchanged. A write fault during a merge retries the group with a
+      // fresh salt and path, like any other write attempt.
+      final_runs = std::move(all_runs);
+      const size_t merge_factor =
+          static_cast<size_t>(std::max(2, job.config.merge_factor));
+      Counter* m_merge_passes = metrics->counter("mr.spill.merge_passes");
+      Counter* m_merge_segments = metrics->counter("mr.spill.merge_segments");
+      const int write_attempts = std::max(1, job.config.max_task_attempts);
+      int pass = 0;
+      while (final_runs.size() > merge_factor) {
+        std::vector<SpillRun> next;
+        for (size_t g = 0; g * merge_factor < final_runs.size(); ++g) {
+          const size_t begin = g * merge_factor;
+          const size_t end =
+              std::min(final_runs.size(), begin + merge_factor);
+          if (end - begin == 1) {
+            next.push_back(std::move(final_runs[begin]));
+            continue;
+          }
+          std::vector<const SpillRun*> group;
+          for (size_t r = begin; r < end; ++r) group.push_back(&final_runs[r]);
+          Status last;
+          bool merged_ok = false;
+          for (int attempt = 0; attempt < write_attempts && !merged_ok;
+               ++attempt) {
+            ScopedSpan merge_span(trace, "merge", "mr");
+            if (merge_span.active()) {
+              merge_span.AddArg("pass", pass);
+              merge_span.AddArg("group", static_cast<uint64_t>(g));
+              merge_span.AddArg("runs", static_cast<uint64_t>(group.size()));
+              merge_span.AddArg("attempt", attempt);
+            }
+            const uint64_t salt =
+                kMergeWriteSaltDomain |
+                ((static_cast<uint64_t>(pass) * 8191 + g) * 131 +
+                 static_cast<uint64_t>(attempt));
+            WriteContext wctx{kAnyNode, nullptr, salt, metrics};
+            ReadContext rctx;
+            rctx.metrics = metrics;
+            rctx.trace = trace;
+            const std::string name = "merge-" + std::to_string(pass) + "-" +
+                                     std::to_string(g);
+            const std::string path =
+                committer != nullptr
+                    ? committer->TaskAttemptDir(name, attempt) + "/run"
+                    : scratch_root + "/" + name + "-" +
+                          std::to_string(attempt);
+            SpillRun merged;
+            uint64_t segments = 0;
+            last = MergeSpillRuns(fs_, group, path, wctx, rctx,
+                                  job.config.spill_codec, num_reducers,
+                                  job.combiner ? &job.combiner : nullptr,
+                                  &merged, &segments);
+            if (last.ok()) {
+              next.push_back(std::move(merged));
+              report->merge_segments += segments;
+              m_merge_segments->Increment(segments);
+              merged_ok = true;
+            } else {
+              TraceInstant(trace, "merge_retry", "mr",
+                           {{"pass", TraceCollector::JsonValue(pass)},
+                            {"group", TraceCollector::JsonValue(
+                                          static_cast<uint64_t>(g))},
+                            {"error", TraceCollector::JsonValue(
+                                          last.message())}});
+            }
+          }
+          if (!merged_ok) return last;
+        }
+        final_runs = std::move(next);
+        report->merge_passes += 1;
+        m_merge_passes->Increment();
+        ++pass;
+      }
+      // Bytes actually shuffled: what survives all map-side combining and
+      // enters the reduce merge.
+      for (const SpillRun& run : final_runs) {
+        report->shuffle_bytes += run.TotalKvBytes();
+      }
+    } else {
+      // Partition by the stable key hash, then sort each partition
+      // (Hadoop's sort-merge shuffle, collapsed to an in-memory sort).
+      // Partition contents keep map-output order, so the per-partition
+      // stable sort is deterministic too.
+      partitions.resize(static_cast<size_t>(num_reducers));
       ScopedSpan shuffle_span(trace, "shuffle", "mr");
-      std::hash<std::string> hasher;
       for (auto& pair : map_output) {
-        const size_t p = hasher(pair.first.ToString()) % num_reducers;
+        const uint32_t p = ShufflePartition(
+            pair.first, static_cast<uint32_t>(num_reducers));
         partitions[p].push_back(std::move(pair));
       }
       if (shuffle_span.active()) {
@@ -815,27 +1020,73 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
                             static_cast<uint64_t>(partitions.size()));
         shuffle_span.AddArg("bytes", report->map_output_bytes);
       }
+      report->shuffle_bytes = report->map_output_bytes;
     }
-    report->shuffle_bytes = report->map_output_bytes;
     metrics->counter("mr.shuffle.bytes")->Increment(report->shuffle_bytes);
 
-    std::vector<ReduceTaskResult> reduced(partitions.size());
+    std::vector<ReduceTaskResult> reduced(static_cast<size_t>(num_reducers));
     auto execute_reducer = [&](size_t p) {
-      auto& partition = partitions[p];
       ScopedSpan reduce_span(trace, "reduce_task", "mr");
       if (reduce_span.active()) {
         reduce_span.AddArg("partition", static_cast<uint64_t>(p));
-        reduce_span.AddArg("input_records",
-                           static_cast<uint64_t>(partition.size()));
       }
-      reduced[p].input_records = partition.size();
       ThreadCpuStopwatch watch;
-      std::stable_sort(partition.begin(), partition.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first.Compare(b.first) < 0;
-                       });
       VectorEmitter emitter;
-      FoldSortedRuns(&partition, job.reducer, &emitter);
+      uint64_t input_records = 0;
+      if (external_shuffle) {
+        // Stream this partition through a heap merge over every final
+        // run — the partition never materializes as a vector. Groups of
+        // equal keys fold through the reducer as they drain off the heap;
+        // the merge order equals the stable sort the in-memory path does,
+        // so the reducer sees identical (key, [values]) calls.
+        SpillMerger merger;
+        for (size_t r = 0; r < final_runs.size(); ++r) {
+          if (final_runs[r].segments[p].records == 0) continue;
+          ReadContext rctx;
+          rctx.metrics = metrics;
+          rctx.trace = trace;
+          std::unique_ptr<SpillSegmentCursor> cursor;
+          Status open_status = SpillSegmentCursor::Open(
+              fs_, final_runs[r], static_cast<int>(p), rctx, &cursor);
+          if (!open_status.ok()) {
+            reduced[p].status = open_status;
+            return;
+          }
+          merger.Add(std::move(cursor), r);
+          reduced[p].segments_merged += 1;
+        }
+        Value group_key;
+        std::vector<Value> group_values;
+        while (merger.Next()) {
+          ++input_records;
+          if (!group_values.empty() &&
+              merger.key().Compare(group_key) != 0) {
+            job.reducer(group_key, group_values, &emitter);
+            group_values.clear();
+          }
+          if (group_values.empty()) group_key = merger.key();
+          group_values.push_back(merger.value());
+        }
+        if (!merger.status().ok()) {
+          reduced[p].status = merger.status();
+          return;
+        }
+        if (!group_values.empty()) {
+          job.reducer(group_key, group_values, &emitter);
+        }
+      } else {
+        auto& partition = partitions[p];
+        input_records = partition.size();
+        std::stable_sort(partition.begin(), partition.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first.Compare(b.first) < 0;
+                         });
+        FoldSortedRuns(&partition, job.reducer, &emitter);
+      }
+      if (reduce_span.active()) {
+        reduce_span.AddArg("input_records", input_records);
+      }
+      reduced[p].input_records = input_records;
       reduced[p].cpu_seconds = watch.ElapsedSeconds();
       reduced[p].pairs = std::move(emitter.pairs());
     };
@@ -843,13 +1094,26 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
     {
       ScopedSpan reduce_phase_span(trace, "reduce_phase", "mr");
       if (pool != nullptr) {
-        for (size_t p = 0; p < partitions.size(); ++p) {
+        for (size_t p = 0; p < reduced.size(); ++p) {
           pool->Submit([&execute_reducer, p] { execute_reducer(p); });
         }
         pool->Wait();
       } else {
-        for (size_t p = 0; p < partitions.size(); ++p) execute_reducer(p);
+        for (size_t p = 0; p < reduced.size(); ++p) execute_reducer(p);
       }
+    }
+    // Spill-read failures surface after the pool joins, lowest partition
+    // first (matching the map phase's lowest-index-failure contract).
+    for (const ReduceTaskResult& result : reduced) {
+      COLMR_RETURN_IF_ERROR(result.status);
+    }
+    if (external_shuffle) {
+      uint64_t final_segments = 0;
+      for (const ReduceTaskResult& result : reduced) {
+        final_segments += result.segments_merged;
+      }
+      report->merge_segments += final_segments;
+      metrics->counter("mr.spill.merge_segments")->Increment(final_segments);
     }
 
     // Materialize the reduce output as text part files through the commit
@@ -971,8 +1235,10 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
 
     // Shuffle: reducers pull their partitions in parallel over the
     // network; the phase lasts as long as the largest per-reducer pull.
+    // Sized by the bytes actually shuffled (post all map-side combining),
+    // which equals map_output_bytes on the in-memory path.
     const double bytes_per_reducer =
-        static_cast<double>(report->map_output_bytes) /
+        static_cast<double>(report->shuffle_bytes) /
         std::max(1, num_reducers);
     report->shuffle_seconds =
         bytes_per_reducer / (fs_->config().network_bandwidth_mbps * 1e6);

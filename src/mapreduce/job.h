@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.h"
 #include "hdfs/cluster.h"
 #include "mapreduce/input_format.h"
 #include "serde/record.h"
@@ -99,6 +100,24 @@ struct JobConfig {
   /// sequential stream. 0 = no prefetch. Requires cache_bytes > 0; warm
   /// tasks run on a small dedicated pool the engine owns for the run.
   int prefetch_depth = 0;
+
+  // ---- External sort-merge shuffle (DESIGN.md §12) ----
+  /// Map-side sort buffer in bytes of tagged key/value encoding — the
+  /// io.sort.mb analog. 0 (default) keeps the in-memory shuffle: every
+  /// map task's output is buffered whole and partitions materialize in
+  /// memory. Any positive value switches to the external path: the task
+  /// sorts and spills a run whenever the buffer fills, and each reduce
+  /// partition streams through a heap merge over the runs. Output is
+  /// byte-identical between the two paths.
+  uint64_t sort_buffer_bytes = 0;
+  /// Maximum runs merged in one pass (io.sort.factor analog). A task
+  /// with more runs than this merges groups of merge_factor into
+  /// intermediate runs until at most merge_factor remain. Minimum 2.
+  int merge_factor = 10;
+  /// Codec spill-run blocks are stored with (Hadoop's
+  /// mapreduce.map.output.compress). Applies to spill files only; it
+  /// never changes job output.
+  CodecType spill_codec = CodecType::kNone;
 
   // ---- Observability hooks (DESIGN.md §8) ----
   /// Registry the job's hdfs/cif/mr counters go to. Null = the
@@ -211,10 +230,12 @@ struct JobReport {
 
   // ---- Reduce-side accounting (appended; existing fields above keep
   // ---- their layout and meaning) ----
-  /// Bytes of map output crossing the shuffle (tagged-encoding size of
-  /// every (key, value) pair entering partitions) — equals
-  /// map_output_bytes today, recorded separately so combiner-side
-  /// reductions stay visible if the two ever diverge.
+  /// Bytes actually crossing the shuffle: the tagged-encoding size of
+  /// every (key, value) pair entering the reduce merge, *after* all
+  /// map-side combining. Equal to map_output_bytes when the shuffle is
+  /// in-memory (combining happened before both are measured); on the
+  /// external path merge-time combining can shrink it further, so
+  /// shuffle_bytes <= map_output_bytes always holds.
   uint64_t shuffle_bytes = 0;
   /// Records entering each reduce partition, indexed by partition.
   std::vector<uint64_t> reduce_input_records;
@@ -236,6 +257,21 @@ struct JobReport {
   /// Output-write attempt re-executions (write fault or commit fault,
   /// then retried on another node).
   uint64_t write_retries = 0;
+
+  // ---- External sort-merge shuffle (appended; zero when
+  // ---- sort_buffer_bytes == 0) ----
+  /// Sorted runs spilled by map tasks (winning attempts only).
+  uint64_t spill_count = 0;
+  /// File bytes across those runs (framing and compression included).
+  uint64_t spill_bytes = 0;
+  /// Intermediate merge passes taken to respect merge_factor.
+  uint64_t merge_passes = 0;
+  /// Run segments consumed by merges: intermediate passes plus the final
+  /// reduce-side merge.
+  uint64_t merge_segments = 0;
+  /// Largest tagged-byte occupancy any task's sort buffer reached — the
+  /// bounded-memory evidence (at most sort_buffer_bytes + one record).
+  uint64_t peak_spill_buffer_bytes = 0;
 };
 
 }  // namespace colmr

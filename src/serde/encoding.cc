@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "common/hash.h"
 #include "obs/metrics.h"
 
 namespace colmr {
@@ -493,9 +494,117 @@ Status DecodeTaggedValue(Slice* input, Value* out) {
 }
 
 size_t TaggedEncodedSize(const Value& value) {
-  Buffer tmp;
-  EncodeTaggedValueRec(value, &tmp);
-  return tmp.size();
+  size_t size = 1;  // the kind tag
+  switch (value.kind()) {
+    case TypeKind::kNull:
+      break;
+    case TypeKind::kBool:
+      size += 1;
+      break;
+    case TypeKind::kInt32:
+      size += VarintLength(ZigZagEncode32(value.int32_value()));
+      break;
+    case TypeKind::kInt64:
+      size += VarintLength(ZigZagEncode64(value.int64_value()));
+      break;
+    case TypeKind::kDouble:
+      size += 8;
+      break;
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      const size_t n = value.string_value().size();
+      size += VarintLength(n) + n;
+      break;
+    }
+    case TypeKind::kArray:
+    case TypeKind::kRecord: {
+      const auto& elems = value.elements();
+      size += VarintLength(elems.size());
+      for (const Value& e : elems) size += TaggedEncodedSize(e);
+      break;
+    }
+    case TypeKind::kMap: {
+      const auto& entries = value.map_entries();
+      size += VarintLength(entries.size());
+      for (const auto& [k, v] : entries) {
+        size += VarintLength(k.size()) + k.size() + TaggedEncodedSize(v);
+      }
+      break;
+    }
+  }
+  return size;
+}
+
+namespace {
+
+/// Streams the LEB128 bytes of v into the hasher — byte-for-byte what
+/// PutVarint64 appends.
+void HashVarint(Fnv1a64* h, uint64_t v) {
+  while (v >= 0x80) {
+    h->Update(static_cast<uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  h->Update(static_cast<uint8_t>(v));
+}
+
+void HashTaggedValueRec(const Value& value, Fnv1a64* h) {
+  h->Update(static_cast<uint8_t>(value.kind()));
+  switch (value.kind()) {
+    case TypeKind::kNull:
+      break;
+    case TypeKind::kBool:
+      h->Update(static_cast<uint8_t>(value.bool_value() ? 1 : 0));
+      break;
+    case TypeKind::kInt32:
+      HashVarint(h, ZigZagEncode32(value.int32_value()));
+      break;
+    case TypeKind::kInt64:
+      HashVarint(h, ZigZagEncode64(value.int64_value()));
+      break;
+    case TypeKind::kDouble: {
+      // The 8 little-endian bytes PutDouble writes, independent of host
+      // endianness.
+      const double d = value.double_value();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, 8);
+      for (int i = 0; i < 8; ++i) {
+        h->Update(static_cast<uint8_t>(bits >> (8 * i)));
+      }
+      break;
+    }
+    case TypeKind::kString:
+    case TypeKind::kBytes: {
+      const std::string& s = value.string_value();
+      HashVarint(h, s.size());
+      h->Update(s.data(), s.size());
+      break;
+    }
+    case TypeKind::kArray:
+    case TypeKind::kRecord: {
+      const auto& elems = value.elements();
+      HashVarint(h, elems.size());
+      for (const Value& e : elems) HashTaggedValueRec(e, h);
+      break;
+    }
+    case TypeKind::kMap: {
+      const auto& entries = value.map_entries();
+      HashVarint(h, entries.size());
+      for (const auto& [k, v] : entries) {
+        HashVarint(h, k.size());
+        h->Update(k.data(), k.size());
+        HashTaggedValueRec(v, h);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HashTaggedValue(const Value& value, uint64_t seed) {
+  Fnv1a64 h(seed);
+  HashTaggedValueRec(value, &h);
+  return h.Digest();
 }
 
 }  // namespace colmr

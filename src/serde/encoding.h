@@ -78,8 +78,20 @@ void EncodeTaggedValue(const Value& value, Buffer* dst);
 /// Decodes one tagged value, consuming from *input.
 Status DecodeTaggedValue(Slice* input, Value* out);
 
-/// Size in bytes of the tagged encoding.
+/// Size in bytes of the tagged encoding. A pure size walk — no scratch
+/// encode, no allocation — so the shuffle can account bytes per pair for
+/// free.
 size_t TaggedEncodedSize(const Value& value);
+
+/// Platform-stable hash of a value: FNV-1a (seeded; see common/hash.h)
+/// streamed over exactly the bytes EncodeTaggedValue would produce, with
+/// the splitmix64 finalizer — but computed without materializing the
+/// encoding, so hashing a shuffle key allocates nothing. Equal values
+/// (Value::Compare == 0) of the same kind hash equal on every platform;
+/// this is the stable HashPartitioner contract (DESIGN.md §12), and the
+/// pinned-vector test in shuffle_spill_test.cc makes any change to it a
+/// deliberate format break.
+uint64_t HashTaggedValue(const Value& value, uint64_t seed);
 
 }  // namespace colmr
 

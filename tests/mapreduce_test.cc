@@ -87,6 +87,58 @@ TEST(JobRunnerTest, WordCountEndToEnd) {
   EXPECT_TRUE(fs->Exists("/out/part-r-00000"));
 }
 
+// shuffle_bytes is the post-combine tagged size of what actually crosses
+// the shuffle, so a combiner can only shrink it relative to
+// map_output_bytes — never grow it. Without a combiner the in-memory path
+// measures both at the same point, so they are equal.
+TEST(JobRunnerTest, CombinerShuffleAccounting) {
+  std::vector<std::string> sentences;
+  for (int i = 0; i < 50; ++i) {
+    sentences.push_back("alpha beta alpha gamma alpha beta");
+  }
+
+  auto run = [&](bool with_combiner, uint64_t sort_buffer_bytes) {
+    auto fs = MakeFs();
+    WriteSentences(fs.get(), "/in", sentences);
+    Job job;
+    job.config.input_paths = {"/in"};
+    job.config.sort_buffer_bytes = sort_buffer_bytes;
+    job.input_format = std::make_shared<TextInputFormat>();
+    job.mapper = [](Record& record, Emitter* out) {
+      std::istringstream words(record.GetOrDie("text").string_value());
+      std::string word;
+      while (words >> word) out->Emit(Value::String(word), Value::Int32(1));
+    };
+    ReduceFn sum = [](const Value& key, const std::vector<Value>& values,
+                      Emitter* out) {
+      int64_t total = 0;
+      for (const Value& v : values) {
+        total += v.kind() == TypeKind::kInt32 ? v.int32_value()
+                                              : v.int64_value();
+      }
+      out->Emit(key, Value::Int64(total));
+    };
+    job.reducer = sum;
+    if (with_combiner) job.combiner = sum;
+    JobRunner runner(fs.get());
+    JobReport report;
+    EXPECT_TRUE(runner.Run(job, &report).ok());
+    return report;
+  };
+
+  const JobReport plain = run(false, 0);
+  EXPECT_EQ(plain.shuffle_bytes, plain.map_output_bytes);
+
+  for (uint64_t sort_buffer : {uint64_t{0}, uint64_t{256}}) {
+    SCOPED_TRACE(sort_buffer);
+    const JobReport combined = run(true, sort_buffer);
+    EXPECT_GT(combined.shuffle_bytes, 0u);
+    EXPECT_LE(combined.shuffle_bytes, combined.map_output_bytes);
+    EXPECT_LT(combined.map_output_bytes, plain.map_output_bytes);
+    EXPECT_EQ(combined.reduce_output_records, 3u);
+  }
+}
+
 TEST(JobRunnerTest, MapOnlyJobCollectsMapOutput) {
   auto fs = MakeFs();
   WriteSentences(fs.get(), "/in", {"a b", "c"});

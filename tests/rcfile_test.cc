@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "common/coding.h"
 #include "formats/rcfile/rcfile_format.h"
 #include "hdfs/mini_hdfs.h"
 #include "mapreduce/job.h"
@@ -197,6 +198,43 @@ TEST(RcFileTest, ProjectionReadsFewerBytesThanFullScan) {
   // ... but the metadata + prefetch overhead keeps it well above the
   // actual size of one int column (3000 records × ~2 bytes).
   EXPECT_GT(one_int, 30u * 3000u);
+}
+
+// Golden-byte regression: the sync marker is a specified function of the
+// dataset path (FNV-1a/splitmix64 seeded with kRcSyncSeed). Pinning the
+// exact bytes catches any platform- or refactor-induced drift in the
+// on-disk format — old files would stop realigning at split boundaries.
+TEST(RcFileTest, SyncMarkerBytesArePinned) {
+  auto fs = MakeFs();
+  Schema::Ptr schema = MicrobenchSchema();
+  std::unique_ptr<RcFileWriter> writer;
+  ASSERT_TRUE(RcFileWriter::Open(fs.get(), "/golden-rc", schema,
+                                 RcFileWriterOptions{}, &writer)
+                  .ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  std::unique_ptr<FileReader> reader;
+  ASSERT_TRUE(fs->Open("/golden-rc/part-00000", ReadContext{}, &reader).ok());
+  std::string header;
+  ASSERT_TRUE(reader->Read(0, reader->size(), &header).ok());
+
+  // Header layout: magic(4) | length-prefixed schema | codec byte |
+  // sync(16).
+  Slice cursor(header);
+  ASSERT_GE(cursor.size(), 4u);
+  cursor.RemovePrefix(4);
+  Slice schema_text;
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &schema_text).ok());
+  ASSERT_GE(cursor.size(), 1u + 16u);
+  cursor.RemovePrefix(1);
+
+  const unsigned char kGolden[16] = {0x9c, 0x06, 0xf0, 0x3c, 0x30, 0xf8,
+                                     0x5e, 0x83, 0xfd, 0xd7, 0x07, 0x36,
+                                     0xc9, 0x9a, 0xe0, 0x24};
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(cursor[i]), kGolden[i])
+        << "sync marker byte " << i << " drifted";
+  }
 }
 
 TEST(RcFileTest, CompressionShrinksFile) {

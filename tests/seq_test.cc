@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "common/coding.h"
 #include "formats/seq/seq_format.h"
 #include "hdfs/mini_hdfs.h"
 #include "mapreduce/job.h"
@@ -202,6 +203,44 @@ TEST(SeqTest, EmptyDataset) {
                   .ok());
   EXPECT_FALSE(scanner->Next());
   EXPECT_TRUE(scanner->status().ok());
+}
+
+// Golden-byte regression: the sync marker is a specified function of the
+// dataset path (FNV-1a/splitmix64 seeded with kSeqSyncSeed), so the exact
+// bytes must never drift across platforms, stdlibs, or refactors. If this
+// fails, the on-disk format changed: old files' markers will no longer
+// match a fresh writer's and split realignment breaks.
+TEST(SeqTest, SyncMarkerBytesArePinned) {
+  auto fs = MakeFs();
+  Schema::Ptr schema = IdSchema();
+  std::unique_ptr<SeqWriter> writer;
+  ASSERT_TRUE(SeqWriter::Open(fs.get(), "/golden-seq", schema,
+                              SeqWriterOptions{}, &writer)
+                  .ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  std::unique_ptr<FileReader> reader;
+  ASSERT_TRUE(fs->Open("/golden-seq/part-00000", ReadContext{}, &reader).ok());
+  std::string header;
+  ASSERT_TRUE(reader->Read(0, reader->size(), &header).ok());
+
+  // Header layout: magic(4) | length-prefixed schema | compression byte |
+  // codec byte | sync(16).
+  Slice cursor(header);
+  ASSERT_GE(cursor.size(), 4u);
+  cursor.RemovePrefix(4);
+  Slice schema_text;
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &schema_text).ok());
+  ASSERT_GE(cursor.size(), 2u + 16u);
+  cursor.RemovePrefix(2);
+
+  const unsigned char kGolden[16] = {0x7c, 0x08, 0x95, 0x84, 0xb5, 0x44,
+                                     0x78, 0x99, 0x78, 0xbc, 0x63, 0x28,
+                                     0xb3, 0xa4, 0x1f, 0xdd};
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(cursor[i]), kGolden[i])
+        << "sync marker byte " << i << " drifted";
+  }
 }
 
 TEST(SeqTest, SchemaTravelsInHeader) {

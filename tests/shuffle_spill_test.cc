@@ -1,0 +1,428 @@
+// External sort-merge shuffle (DESIGN.md §12). The load-bearing invariant:
+// a job's output is byte-for-byte identical whether the shuffle runs
+// in-memory (sort_buffer_bytes == 0) or through the bounded-memory
+// spill/merge path — across parallelism, combiner on/off, spill codecs,
+// merge factors, and injected write faults. On top of that, the spill
+// accounting (spill_count, merge_passes, peak_spill_buffer_bytes) must
+// demonstrate that memory actually stayed bounded.
+//
+// Also home of the pinned-vector tests for the stable shuffle hash: the
+// partitioner is a specified function (common/hash.h FNV-1a + splitmix64),
+// not std::hash, so its exact outputs are part of the contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "formats/text/text_format.h"
+#include "hdfs/fault_injector.h"
+#include "mapreduce/committer.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/spill.h"
+#include "obs/metrics.h"
+#include "serde/encoding.h"
+
+namespace colmr {
+namespace {
+
+// CI sweeps the fault schedule seed (COLMR_FAULT_SEED) so probabilistic
+// tests hold for every schedule, not one lucky draw.
+uint64_t FaultSeed() {
+  const char* env = std::getenv("COLMR_FAULT_SEED");
+  return env == nullptr ? 17 : std::strtoull(env, nullptr, 10);
+}
+
+ClusterConfig TestCluster() {
+  ClusterConfig config;
+  config.num_nodes = 8;
+  config.map_slots_per_node = 2;
+  config.block_size = 1024;
+  config.io_buffer_size = 256;
+  return config;
+}
+
+std::unique_ptr<MiniHdfs> MakeFs() {
+  return std::make_unique<MiniHdfs>(
+      TestCluster(), std::make_unique<ColumnPlacementPolicy>(17));
+}
+
+// A text dataset of several files of synthetic "words": many distinct keys
+// so every reduce partition is non-empty, plus a heavily repeated key so
+// the combiner has something to fold.
+void WriteWords(MiniHdfs* fs, const std::string& dir, int files,
+                int words_per_file) {
+  Schema::Ptr schema;
+  ASSERT_TRUE(Schema::Parse("record S { text: string }", &schema).ok());
+  int next = 0;
+  for (int f = 0; f < files; ++f) {
+    std::unique_ptr<TextWriter> writer;
+    ASSERT_TRUE(
+        TextWriter::Open(fs, dir + "/f" + std::to_string(f), schema, &writer)
+            .ok());
+    for (int w = 0; w < words_per_file; ++w) {
+      std::string sentence = "word" + std::to_string(next % 509) + " common";
+      ++next;
+      ASSERT_TRUE(
+          writer->WriteRecord(Value::Record({Value::String(sentence)})).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+}
+
+Job WordCountJob(const std::string& out, bool with_combiner) {
+  Job job;
+  job.config.input_paths = {"/in"};
+  job.config.output_path = out;
+  job.input_format = std::make_shared<TextInputFormat>();
+  job.mapper = [](Record& record, Emitter* emit) {
+    std::istringstream words(record.GetOrDie("text").string_value());
+    std::string word;
+    while (words >> word) emit->Emit(Value::String(word), Value::Int32(1));
+  };
+  ReduceFn sum = [](const Value& key, const std::vector<Value>& values,
+                    Emitter* emit) {
+    int64_t total = 0;
+    for (const Value& v : values) {
+      total +=
+          v.kind() == TypeKind::kInt32 ? v.int32_value() : v.int64_value();
+    }
+    emit->Emit(key, Value::Int64(total));
+  };
+  job.reducer = sum;
+  if (with_combiner) job.combiner = sum;
+  return job;
+}
+
+std::string ReadFile(MiniHdfs* fs, const std::string& path) {
+  std::unique_ptr<FileReader> reader;
+  EXPECT_TRUE(fs->Open(path, ReadContext{}, &reader).ok());
+  std::string data;
+  EXPECT_TRUE(reader->Read(0, reader->size(), &data).ok());
+  return data;
+}
+
+// Every visible output file (name -> bytes), asserting the committed
+// layout: a _SUCCESS marker, part files, and no _temporary residue.
+std::map<std::string, std::string> CommittedOutput(MiniHdfs* fs,
+                                                   const std::string& out) {
+  std::map<std::string, std::string> files;
+  std::vector<std::string> children;
+  EXPECT_TRUE(fs->ListDir(out, &children).ok());
+  bool success = false;
+  for (const std::string& child : children) {
+    EXPECT_NE(child, std::string(OutputCommitter::kTemporaryDir));
+    if (child == OutputCommitter::kSuccessMarker) {
+      success = true;
+      continue;
+    }
+    files[child] = ReadFile(fs, out + "/" + child);
+  }
+  EXPECT_TRUE(success) << "no _SUCCESS marker in " << out;
+  return files;
+}
+
+// report.output rendered to one comparable string.
+std::string OutputToString(const JobReport& report) {
+  std::string s;
+  for (const auto& [key, value] : report.output) {
+    s += key.ToString();
+    s += '\t';
+    s += value.ToString();
+    s += '\n';
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Pinned vectors: the specified hash and the partitioner built on it.
+// These exact values are the cross-platform contract — std::hash gave a
+// different partition assignment per stdlib, which is the bug this PR
+// fixes. If one of these fails, the hash function changed and every
+// existing partition assignment and sync marker silently moved.
+// ---------------------------------------------------------------------
+
+TEST(StableHashTest, HashBytesVectorsArePinned) {
+  EXPECT_EQ(HashBytes(Slice("", 0), 0), 0x5b21f68ffa77f14cull);
+  EXPECT_EQ(HashBytes(Slice("hello"), 0), 0x231ca7b6003c0723ull);
+  EXPECT_EQ(HashBytes(Slice("hello"), 1), 0x1a322cf0c41ba363ull);
+}
+
+TEST(StableHashTest, TaggedValueHashVectorsArePinned) {
+  const uint64_t seed = kShufflePartitionSeed;
+  EXPECT_EQ(HashTaggedValue(Value::String("the"), seed),
+            0x2b16a336a4f586d9ull);
+  EXPECT_EQ(HashTaggedValue(Value::Int32(42), seed), 0x838a6579c0a87f56ull);
+  EXPECT_EQ(HashTaggedValue(Value::Int64(-7), seed), 0x9d31333e481930a1ull);
+  EXPECT_EQ(HashTaggedValue(Value::Double(2.5), seed),
+            0xc57597ef7fd96534ull);
+  EXPECT_EQ(HashTaggedValue(Value::Null(), seed), 0xd22612d33348f049ull);
+}
+
+// The streaming hash must agree with hashing the materialized encoding —
+// that equivalence is what lets the partitioner skip the per-pair
+// ToString()/Encode allocation the old code paid.
+TEST(StableHashTest, StreamingHashMatchesMaterializedEncoding) {
+  std::vector<Value> values = {
+      Value::Null(),        Value::Bool(true),     Value::Int32(-123456),
+      Value::Int64(1ll << 40), Value::Double(3.25), Value::String("shuffle"),
+      Value::Record({Value::Int32(7), Value::String("x")}),
+  };
+  for (const Value& v : values) {
+    Buffer encoded;
+    EncodeTaggedValue(v, &encoded);
+    EXPECT_EQ(HashTaggedValue(v, 99), HashBytes(encoded.AsSlice(), 99))
+        << v.ToString();
+  }
+}
+
+TEST(StableHashTest, ShufflePartitionVectorsArePinned) {
+  struct Case {
+    const char* word;
+    uint32_t part4;
+    uint32_t part7;
+  };
+  const Case cases[] = {
+      {"the", 1, 1},  {"quick", 0, 6}, {"brown", 1, 2}, {"fox", 2, 3},
+      {"lazy", 1, 5}, {"dog", 0, 0},   {"again", 1, 5},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ShufflePartition(Value::String(c.word), 4), c.part4) << c.word;
+    EXPECT_EQ(ShufflePartition(Value::String(c.word), 7), c.part7) << c.word;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential matrix: external output must be byte-identical to the
+// in-memory path across buffer sizes, parallelism, combiner, codec, and
+// write faults.
+// ---------------------------------------------------------------------
+
+struct MatrixReference {
+  std::string output;                          // report.output, stringified
+  std::map<std::string, std::string> files;    // committed part bytes
+};
+
+MatrixReference Baseline() {
+  auto fs = MakeFs();
+  WriteWords(fs.get(), "/in", 3, 400);
+  Job job = WordCountJob("/out", /*with_combiner=*/false);
+  job.config.parallelism = 1;
+  JobRunner runner(fs.get());
+  JobReport report;
+  EXPECT_TRUE(runner.Run(job, &report).ok());
+  return {OutputToString(report), CommittedOutput(fs.get(), "/out")};
+}
+
+TEST(ShuffleSpillTest, ExternalOutputIsByteIdenticalToInMemory) {
+  const MatrixReference reference = Baseline();
+  ASSERT_FALSE(reference.output.empty());
+
+  // sort_buffer_bytes: tiny (many spills per task), large enough that the
+  // only spill is the Finish() flush (exactly one run per task), and 0
+  // (the in-memory control arm re-run through the same matrix).
+  const uint64_t buffers[] = {64, 1 << 20, 0};
+  const int parallelisms[] = {1, 4};
+  const bool combiners[] = {false, true};
+  // A tiny buffer means dozens of spill files per attempt, i.e. dozens of
+  // block seals the injector can bite on — the probability is kept low
+  // and the attempt budget high so every seed schedule converges.
+  const double fault_ps[] = {0.0, 0.01};
+
+  for (uint64_t sort_buffer : buffers) {
+    for (int parallelism : parallelisms) {
+      for (bool with_combiner : combiners) {
+        for (double fault_p : fault_ps) {
+          SCOPED_TRACE("sort_buffer=" + std::to_string(sort_buffer) +
+                       " parallelism=" + std::to_string(parallelism) +
+                       " combiner=" + std::to_string(with_combiner) +
+                       " fault_p=" + std::to_string(fault_p));
+          auto fs = MakeFs();
+          WriteWords(fs.get(), "/in", 3, 400);
+          if (fault_p > 0) {
+            FaultConfig faults;
+            faults.seed = FaultSeed();
+            faults.write_error_p = fault_p;
+            fs->SetFaultConfig(faults);
+          }
+          Job job = WordCountJob("/out", with_combiner);
+          job.config.sort_buffer_bytes = sort_buffer;
+          job.config.parallelism = parallelism;
+          job.config.max_task_attempts = 10;
+          job.config.node_blacklist_failures = 1000;
+          JobRunner runner(fs.get());
+          JobReport report;
+          ASSERT_TRUE(runner.Run(job, &report).ok());
+
+          EXPECT_EQ(OutputToString(report), reference.output);
+          EXPECT_EQ(CommittedOutput(fs.get(), "/out"), reference.files);
+          EXPECT_LE(report.shuffle_bytes, report.map_output_bytes);
+          if (sort_buffer == 0) {
+            EXPECT_EQ(report.spill_count, 0u);
+            EXPECT_EQ(report.spill_bytes, 0u);
+          } else {
+            EXPECT_GT(report.spill_count, 0u);
+            EXPECT_GT(report.spill_bytes, 0u);
+            // Bounded memory: the buffer never grew past the cap by more
+            // than the single record that tipped it over.
+            EXPECT_LE(report.peak_spill_buffer_bytes, sort_buffer + 64);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShuffleSpillTest, SpillCodecsPreserveOutput) {
+  const MatrixReference reference = Baseline();
+  for (CodecType codec : {CodecType::kLzf, CodecType::kZlite}) {
+    SCOPED_TRACE(static_cast<int>(codec));
+    auto fs = MakeFs();
+    WriteWords(fs.get(), "/in", 3, 400);
+    Job job = WordCountJob("/out", /*with_combiner=*/false);
+    job.config.sort_buffer_bytes = 256;
+    job.config.parallelism = 4;
+    job.config.spill_codec = codec;
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(job, &report).ok());
+    EXPECT_EQ(OutputToString(report), reference.output);
+    EXPECT_EQ(CommittedOutput(fs.get(), "/out"), reference.files);
+    EXPECT_GT(report.spill_count, 0u);
+  }
+}
+
+TEST(ShuffleSpillTest, SpeculationAndBatchRowsPreserveOutput) {
+  const MatrixReference reference = Baseline();
+  for (uint64_t batch_rows : {uint64_t{1}, uint64_t{1024}}) {
+    SCOPED_TRACE(batch_rows);
+    auto fs = MakeFs();
+    WriteWords(fs.get(), "/in", 3, 400);
+    Job job = WordCountJob("/out", /*with_combiner=*/true);
+    job.config.sort_buffer_bytes = 128;
+    job.config.parallelism = 4;
+    job.config.batch_rows = batch_rows;
+    job.config.speculative_execution = true;
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(job, &report).ok());
+    EXPECT_EQ(OutputToString(report), reference.output);
+    EXPECT_EQ(CommittedOutput(fs.get(), "/out"), reference.files);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Spill accounting invariants.
+// ---------------------------------------------------------------------
+
+TEST(ShuffleSpillTest, SpillsAtLeastTwicePerTaskWhenOutputExceedsBuffer) {
+  // First pass in-memory to learn the job's true map output volume. The
+  // tail split of each input file is smaller than the rest, so size the
+  // buffer off the smallest substantial task, not the average: every
+  // eligible task's output must exceed 4x the buffer.
+  uint64_t min_task_records = 0;
+  size_t eligible_tasks = 0;
+  uint64_t avg_record_bytes = 0;
+  {
+    auto fs = MakeFs();
+    WriteWords(fs.get(), "/in", 3, 400);
+    Job job = WordCountJob("/out", /*with_combiner=*/false);
+    JobRunner runner(fs.get());
+    JobReport report;
+    ASSERT_TRUE(runner.Run(job, &report).ok());
+    ASSERT_GT(report.map_output_records, 0u);
+    avg_record_bytes = report.map_output_bytes / report.map_output_records;
+    for (const TaskReport& task : report.map_tasks) {
+      if (task.output_records < 10) continue;  // runt tail split
+      ++eligible_tasks;
+      if (min_task_records == 0 || task.output_records < min_task_records) {
+        min_task_records = task.output_records;
+      }
+    }
+  }
+  ASSERT_GT(eligible_tasks, 0u);
+  ASSERT_GT(avg_record_bytes, 0u);
+
+  // >= 5x the smallest eligible task's output, so even that task spills
+  // at least four times before the Finish() flush.
+  const uint64_t sort_buffer = min_task_records * avg_record_bytes / 5;
+  ASSERT_GT(sort_buffer, 0u);
+
+  auto fs = MakeFs();
+  WriteWords(fs.get(), "/in", 3, 400);
+  MetricsRegistry registry;
+  Job job = WordCountJob("/out", /*with_combiner=*/false);
+  job.config.sort_buffer_bytes = sort_buffer;
+  job.config.merge_factor = 2;  // force intermediate merge passes
+  job.config.metrics = &registry;
+  JobRunner runner(fs.get());
+  JobReport report;
+  ASSERT_TRUE(runner.Run(job, &report).ok());
+
+  // >= 2 spills per eligible map task: output exceeded the buffer several
+  // times over, so no such task fit in a single Finish() flush.
+  EXPECT_GE(report.spill_count, 2 * eligible_tasks);
+  EXPECT_GT(report.spill_bytes, 0u);
+  // merge_factor 2 with >= 2 runs/task forces intermediate passes, and
+  // the final reduce-side merge consumes segments too.
+  EXPECT_GT(report.merge_passes, 0u);
+  EXPECT_GT(report.merge_segments, 0u);
+  EXPECT_LE(report.peak_spill_buffer_bytes, sort_buffer + 64);
+  EXPECT_LE(report.shuffle_bytes, report.map_output_bytes);
+
+  // The metrics registry saw the same story the report tells.
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("mr.spill.count"), report.spill_count);
+  EXPECT_EQ(snapshot.counters.at("mr.spill.bytes"), report.spill_bytes);
+  EXPECT_EQ(snapshot.counters.at("mr.spill.merge_passes"),
+            report.merge_passes);
+  EXPECT_EQ(snapshot.counters.at("mr.spill.merge_segments"),
+            report.merge_segments);
+}
+
+// A certain write fault on every block seal must fail the job cleanly —
+// spill I/O reaches the same sticky-failure path as output writes — and
+// leave no visible output.
+TEST(ShuffleSpillTest, CertainSpillFaultFailsJobCleanly) {
+  auto fs = MakeFs();
+  WriteWords(fs.get(), "/in", 2, 200);
+  FaultConfig faults;
+  faults.seed = FaultSeed();
+  faults.write_error_p = 1.0;
+  fs->SetFaultConfig(faults);
+
+  Job job = WordCountJob("/out", /*with_combiner=*/false);
+  job.config.sort_buffer_bytes = 128;
+  JobRunner runner(fs.get());
+  JobReport report;
+  Status s = runner.Run(job, &report);
+  EXPECT_FALSE(s.ok());
+  EXPECT_GT(report.write_faults, 0u);
+  EXPECT_FALSE(fs->Exists("/out"));
+}
+
+// Jobs without an output path (report-only) also take the external path;
+// their scratch lives under /_shuffle and is torn down with the run.
+TEST(ShuffleSpillTest, ReportOnlyJobCleansScratch) {
+  const MatrixReference reference = Baseline();
+  auto fs = MakeFs();
+  WriteWords(fs.get(), "/in", 3, 400);
+  Job job = WordCountJob(/*out=*/"", /*with_combiner=*/false);
+  job.config.sort_buffer_bytes = 128;
+  job.config.parallelism = 4;
+  JobRunner runner(fs.get());
+  JobReport report;
+  ASSERT_TRUE(runner.Run(job, &report).ok());
+  EXPECT_EQ(OutputToString(report), reference.output);
+  EXPECT_GT(report.spill_count, 0u);
+  EXPECT_FALSE(fs->Exists("/_shuffle"));
+}
+
+}  // namespace
+}  // namespace colmr

@@ -17,6 +17,7 @@
 //                                               flip a bit in one replica
 //   colmr scan  <image> <dataset> [p] [--batch-rows=N] [--out=PATH]
 //               [--speculative] [--task-timeout-ms=N]
+//               [--sort-buffer-kb=N] [--merge-factor=N] [--spill-codec=C]
 //               [--write-error-p=P] [--task-commit-error-p=P]
 //               [--job-commit-error-p=P] [--slow-write-node=N]
 //               [--slow-write-ms=MS] [--write-death-node=N]
@@ -33,7 +34,12 @@
 //                                               remaining flags inject
 //                                               write/commit faults and
 //                                               enable the straggler
-//                                               defenses
+//                                               defenses.
+//                                               --sort-buffer-kb > 0 runs
+//                                               the bounded-memory external
+//                                               sort-merge shuffle
+//                                               (DESIGN.md §12); codec C is
+//                                               none | lzf | zlite
 //   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
 //               [--batch-rows=N]
@@ -400,6 +406,9 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   std::string out_path;
   bool speculative = false;
   int task_timeout_ms = 0;
+  uint64_t sort_buffer_kb = 0;
+  int merge_factor = 0;
+  std::string spill_codec;
   FaultConfig faults;
   std::vector<std::string> positional;
   for (int i = 0; i < argc; ++i) {
@@ -412,6 +421,12 @@ int CmdScan(const std::string& image, int argc, char** argv) {
       speculative = true;
     } else if (arg.rfind("--task-timeout-ms=", 0) == 0) {
       task_timeout_ms = std::atoi(arg.c_str() + 18);
+    } else if (arg.rfind("--sort-buffer-kb=", 0) == 0) {
+      sort_buffer_kb = std::strtoull(arg.c_str() + 17, nullptr, 10);
+    } else if (arg.rfind("--merge-factor=", 0) == 0) {
+      merge_factor = std::atoi(arg.c_str() + 15);
+    } else if (arg.rfind("--spill-codec=", 0) == 0) {
+      spill_codec = arg.substr(14);
     } else if (arg.rfind("--write-error-p=", 0) == 0) {
       faults.write_error_p = std::atof(arg.c_str() + 16);
     } else if (arg.rfind("--task-commit-error-p=", 0) == 0) {
@@ -454,6 +469,20 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   if (batch_rows > 0) job.config.batch_rows = batch_rows;
   job.config.task_timeout_ms = task_timeout_ms;
   job.config.speculative_execution = speculative;
+  job.config.sort_buffer_bytes = sort_buffer_kb * 1024;
+  if (merge_factor > 0) job.config.merge_factor = merge_factor;
+  if (!spill_codec.empty()) {
+    if (spill_codec == "none") {
+      job.config.spill_codec = CodecType::kNone;
+    } else if (spill_codec == "lzf") {
+      job.config.spill_codec = CodecType::kLzf;
+    } else if (spill_codec == "zlite") {
+      job.config.spill_codec = CodecType::kZlite;
+    } else {
+      return Fail(Status::InvalidArgument("unknown --spill-codec: " +
+                                          spill_codec));
+    }
+  }
   s = DetectInputFormat(fs.get(), path, &job.input_format, nullptr);
   if (!s.ok()) return Fail(s);
   if (out_path.empty()) {
@@ -508,6 +537,16 @@ int CmdScan(const std::string& image, int argc, char** argv) {
         static_cast<unsigned long long>(report.speculative_launched),
         static_cast<unsigned long long>(report.speculative_won),
         static_cast<unsigned long long>(report.speculative_lost));
+    if (sort_buffer_kb > 0) {
+      std::printf(
+          "shuffle: %llu spills (%llu bytes), %llu merge passes, "
+          "%llu segments merged, peak buffer %llu bytes\n",
+          static_cast<unsigned long long>(report.spill_count),
+          static_cast<unsigned long long>(report.spill_bytes),
+          static_cast<unsigned long long>(report.merge_passes),
+          static_cast<unsigned long long>(report.merge_segments),
+          static_cast<unsigned long long>(report.peak_spill_buffer_bytes));
+    }
   }
   if (!s.ok()) return Fail(s);
   // Persist replica-health marks the scan reported, so a following
