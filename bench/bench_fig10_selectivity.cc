@@ -23,6 +23,38 @@ using bench::Die;
 
 constexpr uint64_t kBaseRecords = 150000;
 
+/// One pushdown-sweep arm over the zoned dataset: aggregates int0 for
+/// rows with seq < cutoff, either by pushing `seq < cutoff` into the
+/// format (zone-map pruning + selection vectors) or by checking it inside
+/// the map function over a full scan. Returns sim-seconds; *sum and
+/// *matches receive the aggregate for the outputs_match check.
+double RunZonedScan(MiniHdfs* fs, const std::string& path, int64_t cutoff,
+                    bool pushdown, uint64_t* sum, uint64_t* matches) {
+  ColumnInputFormat format;
+  JobConfig config;
+  config.input_paths = {path};
+  config.projection = {"seq", "int0"};
+  if (pushdown) {
+    Predicate predicate;
+    Die(ParsePredicate("seq < " + std::to_string(cutoff), &predicate),
+        "parse");
+    config.predicate = std::make_shared<const Predicate>(std::move(predicate));
+    config.predicate_pushdown = true;
+  }
+  *sum = 0;
+  *matches = 0;
+  bench::ScanResult result =
+      bench::ScanDataset(fs, &format, config, [&](Record& record) {
+        if (!pushdown &&
+            record.GetOrDie("seq").int64_value() >= cutoff) {
+          return;
+        }
+        *sum += static_cast<uint64_t>(record.GetOrDie("int0").int32_value());
+        ++*matches;
+      });
+  return result.sim_seconds;
+}
+
 double RunScan(MiniHdfs* fs, const std::string& path, bool lazy) {
   ColumnInputFormat format;
   JobConfig config;
@@ -89,6 +121,57 @@ int main() {
         .Set("cif_sl_seconds", sl_seconds)
         .Set("speedup", cif_seconds / sl_seconds);
   }
+  // ---- Predicate-pushdown arm (DESIGN.md §13) ----
+  // Zoned dataset: monotone seq, so zone maps on seq prune ~(1 - s) of
+  // the rowgroups for `seq < cutoff`. The comparison arm runs the same
+  // filter inside the map function over a full scan.
+  std::printf("\n=== Pushdown: seq < cutoff vs filter-in-map ===\n");
+  std::printf("%12s %15s %12s %10s %10s\n", "Selectivity", "filter-map(s)",
+              "pushdown(s)", "speedup", "pruned_rg");
+  auto zfs = std::make_unique<MiniHdfs>(
+      bench::PaperCluster(), std::make_unique<ColumnPlacementPolicy>(10));
+  {
+    CofOptions zoned_options;
+    zoned_options.split_target_bytes = 8ull << 20;
+    zoned_options.default_column.layout = ColumnLayout::kSkipList;
+    std::unique_ptr<CofWriter> zoned;
+    Die(CofWriter::Open(zfs.get(), "/zoned", ZonedSchema(), zoned_options,
+                        &zoned),
+        "zoned");
+    ZonedGenerator gen = bench::MakeZonedGenerator();
+    bench::FillWriters(gen, records, {zoned.get()});
+  }
+  Counter* pruned_rowgroups =
+      MetricsRegistry::Default().counter("cif.prune.rowgroups");
+  for (double selectivity : {0.001, 0.01, 0.05, 0.2, 0.5, 1.0}) {
+    const int64_t cutoff =
+        static_cast<int64_t>(selectivity * static_cast<double>(records));
+    uint64_t map_sum = 0, map_matches = 0;
+    const double filter_map_seconds = RunZonedScan(
+        zfs.get(), "/zoned", cutoff, false, &map_sum, &map_matches);
+    const uint64_t pruned_before = pruned_rowgroups->value();
+    uint64_t push_sum = 0, push_matches = 0;
+    const double pushdown_seconds = RunZonedScan(
+        zfs.get(), "/zoned", cutoff, true, &push_sum, &push_matches);
+    const uint64_t pruned = pruned_rowgroups->value() - pruned_before;
+    const bool outputs_match =
+        map_sum == push_sum && map_matches == push_matches;
+    std::printf("%11.1f%% %15.3f %12.3f %9.2fx %10llu%s\n",
+                selectivity * 100, filter_map_seconds, pushdown_seconds,
+                filter_map_seconds / pushdown_seconds,
+                static_cast<unsigned long long>(pruned),
+                outputs_match ? "" : "  OUTPUT MISMATCH");
+    report.AddRow()
+        .Set("arm", "pushdown")
+        .Set("selectivity", selectivity)
+        .Set("filter_in_map_seconds", filter_map_seconds)
+        .Set("pushdown_seconds", pushdown_seconds)
+        .Set("speedup", filter_map_seconds / pushdown_seconds)
+        .Set("pruned_rowgroups", pruned)
+        .Set("matches", push_matches)
+        .Set("outputs_match", outputs_match);
+  }
+
   report.Write();
   std::printf(
       "\npaper shape: CIF-SL wins at high selectivity (few matches) and "

@@ -18,6 +18,7 @@
 #include "mapreduce/job.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "serde/predicate.h"
 
 namespace colmr {
 namespace bench {
@@ -58,6 +59,8 @@ struct ScanResult {
   double sim_seconds = 0;
 };
 
+inline void Die(const Status& s, const char* what);
+
 /// Scans an entire dataset through an InputFormat, feeding every record to
 /// `consume`. All I/O is counted; time is measured around the scan loop.
 inline ScanResult ScanDataset(MiniHdfs* fs, InputFormat* format,
@@ -80,18 +83,47 @@ inline ScanResult ScanDataset(MiniHdfs* fs, InputFormat* format,
       std::fprintf(stderr, "CreateRecordReader: %s\n", s.ToString().c_str());
       std::abort();
     }
+    // Same filter contract as the engine's map loop: a job predicate is
+    // either pre-evaluated by the reader (selection()) or applied
+    // row-wise here, so ScanDataset measures the identical record stream.
+    const Predicate* predicate = config.predicate.get();
     if (config.batch_rows <= 1) {
       while (reader->Next()) {
+        if (predicate != nullptr) {
+          Status eval;
+          const Tri pass =
+              EvalPredicateRow(*predicate, reader->record(), &eval);
+          Die(eval, "predicate");
+          if (pass != Tri::kTrue) continue;
+        }
         consume(reader->record());
         ++result.records;
       }
     } else {
       uint64_t filled;
       while ((filled = reader->FillBatch(config.batch_rows)) > 0) {
-        for (uint64_t r = 0; r < filled; ++r) {
-          consume(reader->RecordAt(r));
+        const std::vector<uint32_t>* selection = reader->selection();
+        if (selection != nullptr) {
+          for (const uint32_t r : *selection) {
+            consume(reader->RecordAt(r));
+          }
+          result.records += selection->size();
+        } else if (predicate != nullptr) {
+          for (uint64_t r = 0; r < filled; ++r) {
+            Record& record = reader->RecordAt(r);
+            Status eval;
+            const Tri pass = EvalPredicateRow(*predicate, record, &eval);
+            Die(eval, "predicate");
+            if (pass != Tri::kTrue) continue;
+            consume(record);
+            ++result.records;
+          }
+        } else {
+          for (uint64_t r = 0; r < filled; ++r) {
+            consume(reader->RecordAt(r));
+          }
+          result.records += filled;
         }
-        result.records += filled;
       }
     }
     if (!reader->status().ok()) {

@@ -87,6 +87,11 @@ inline WideGenerator MakeWideGenerator(int num_columns, uint64_t salt = 0) {
   return WideGenerator(kDatasetSeed + salt, num_columns);
 }
 
+/// The pushdown sweep's zone-friendly stream (monotone `seq` + payload).
+inline ZonedGenerator MakeZonedGenerator(uint64_t salt = 0) {
+  return ZonedGenerator(kDatasetSeed + salt);
+}
+
 /// Streams `records` generated records into every writer (the multi-layout
 /// experiments write one record to N formats), then closes them all.
 template <typename Generator>

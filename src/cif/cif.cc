@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "cif/column_format.h"
 #include "cif/column_reader.h"
+#include "cif/column_stats.h"
 #include "cif/lazy_record.h"
 #include "formats/text/text_format.h"
 #include "mapreduce/job.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serde/predicate.h"
 
 namespace colmr {
 
@@ -41,6 +45,70 @@ Status ResolveProjection(const Schema& schema,
   }
   std::sort(indices->begin(), indices->end());
   return Status::OK();
+}
+
+/// The columns a reader must open: the projection plus, when the job has a
+/// predicate, every column the predicate references. Predicate columns are
+/// read whether or not pushdown is on — the engine needs their values to
+/// evaluate the filter row-wise, so filtered output stays byte-identical
+/// across the pushdown knob. Predicate columns the schema lacks go to
+/// *missing (ValidatePredicate has already vetted the tolerance) and
+/// evaluate as NULL.
+Status ResolveReadSet(const Schema& schema, const JobConfig& config,
+                      std::vector<int>* indices,
+                      std::vector<std::string>* missing) {
+  COLMR_RETURN_IF_ERROR(ResolveProjection(schema, config.projection,
+                                          config.null_for_missing_columns,
+                                          indices, missing));
+  if (config.predicate == nullptr) return Status::OK();
+  for (const std::string& name : PredicateColumns(*config.predicate)) {
+    const int index = schema.FieldIndex(name);
+    if (index < 0) {
+      if (missing != nullptr &&
+          std::find(missing->begin(), missing->end(), name) ==
+              missing->end()) {
+        missing->push_back(name);
+      }
+      continue;
+    }
+    if (std::find(indices->begin(), indices->end(), index) ==
+        indices->end()) {
+      indices->push_back(index);
+    }
+  }
+  std::sort(indices->begin(), indices->end());
+  return Status::OK();
+}
+
+/// File-level refutation for split pruning: merges the zone-map footers of
+/// the predicate's columns in `dir` and asks whether any row can match.
+/// Also reports the split's row/rowgroup counts (from the footers) for the
+/// prune counters. Columns without a readable footer never refute.
+bool SplitRefuted(MiniHdfs* fs, const std::string& dir, const Schema& schema,
+                  const Predicate& predicate, const ReadContext& context,
+                  uint64_t* rows, uint64_t* groups) {
+  std::vector<std::pair<std::string, ColumnFileStats>> stats;
+  for (const std::string& name : PredicateColumns(predicate)) {
+    if (schema.FieldIndex(name) < 0) continue;
+    ColumnFileStats file_stats;
+    bool present = false;
+    if (!ReadColumnStats(fs, dir + "/" + name + ".col", context, &file_stats,
+                         &present)
+             .ok() ||
+        !present) {
+      continue;
+    }
+    *rows = file_stats.file.values;  // one value appended per row
+    *groups = file_stats.groups.size();
+    stats.emplace_back(name, std::move(file_stats));
+  }
+  const auto lookup = [&](const std::string& name) -> const ColumnStats* {
+    for (const auto& [n, s] : stats) {
+      if (n == name) return &s.file;
+    }
+    return nullptr;
+  };
+  return !PredicateCanMatch(predicate, lookup);
 }
 
 /// Delegating record that answers Get() for evolved-away columns with
@@ -137,12 +205,18 @@ class CifRecordReader final : public RecordReader {
   CifRecordReader(Schema::Ptr schema, std::vector<int> projection,
                   std::vector<std::unique_ptr<ColumnFileReader>> columns,
                   bool lazy, std::vector<std::string> missing_columns,
-                  MetricsRegistry* metrics)
+                  MetricsRegistry* metrics, TraceCollector* trace,
+                  std::shared_ptr<const Predicate> predicate, bool pushdown,
+                  std::vector<ColumnFileStats> stats,
+                  std::vector<uint8_t> stats_present)
       : schema_(schema),
         projection_(std::move(projection)),
         columns_(std::move(columns)),
         lazy_(lazy),
-        eager_record_(schema_, Value::Null()) {
+        eager_record_(schema_, Value::Null()),
+        trace_(trace),
+        predicate_(std::move(predicate)),
+        pushdown_(pushdown && predicate_ != nullptr) {
     m_records_ = metrics->counter(lazy ? "cif.records.lazy"
                                        : "cif.records.eager");
     row_count_ = columns_.empty() ? 0 : columns_.front()->row_count();
@@ -151,6 +225,15 @@ class CifRecordReader final : public RecordReader {
         status_ = Status::Corruption(
             "cif: column files disagree on row count");
       }
+    }
+    if (pushdown_) {
+      m_prune_rowgroups_ = metrics->counter("cif.prune.rowgroups");
+      m_prune_rows_ = metrics->counter("cif.prune.rows");
+      for (size_t p = 0; p < projection_.size(); ++p) {
+        lane_of_field_.emplace_back(schema_->fields()[projection_[p]].name,
+                                    static_cast<int>(p));
+      }
+      BuildPruneMap(stats, stats_present);
     }
     std::vector<ColumnFileReader*> by_field(schema_->fields().size(), nullptr);
     for (size_t p = 0; p < projection_.size(); ++p) {
@@ -174,6 +257,7 @@ class CifRecordReader final : public RecordReader {
   }
 
   uint64_t FillBatch(uint64_t max_rows) override {
+    selection_valid_ = false;
     if (!status_.ok() || max_rows == 0) return 0;
     if (!pending_batch_error_.ok()) {
       // A column failed mid-way through the previous batch: its good
@@ -181,9 +265,21 @@ class CifRecordReader final : public RecordReader {
       status_ = pending_batch_error_;
       return 0;
     }
-    const uint64_t next_row = static_cast<uint64_t>(row_ + 1);
+    uint64_t next_row = static_cast<uint64_t>(row_ + 1);
+    if (pushdown_) {
+      const uint64_t target = NextUnprunedRow(next_row);
+      if (target != next_row) {
+        status_ = SkipPruned(next_row, target);
+        if (!status_.ok()) return 0;
+        next_row = target;
+        row_ = static_cast<int64_t>(next_row) - 1;
+      }
+    }
     if (next_row >= row_count_) return 0;
-    const uint64_t k = std::min(max_rows, row_count_ - next_row);
+    // Clamp the batch to the contiguous unpruned run so it never spans
+    // into a pruned rowgroup.
+    const uint64_t run_end = pushdown_ ? UnprunedRunEnd(next_row) : row_count_;
+    const uint64_t k = std::min(max_rows, run_end - next_row);
     batch_start_row_ = next_row;
     if (lazy_) {
       // Laziness survives batching: nothing is decoded here. Columns the
@@ -217,6 +313,19 @@ class CifRecordReader final : public RecordReader {
     pending_batch_error_ = pending;
     row_ += served;
     m_records_->Increment(served);
+    if (pushdown_ && served > 0) {
+      // Vectorized filter: select the surviving rows now so the engine
+      // maps only them. The lazy path skips this (no lanes are resident)
+      // and lets the engine filter row-wise instead.
+      const auto lane = [this](const std::string& name) -> const ColumnBatch* {
+        for (const auto& [field, p] : lane_of_field_) {
+          if (field == name) return &row_batch_.columns[p];
+        }
+        return nullptr;
+      };
+      evaluator_.Eval(*predicate_, lane, served, &selection_);
+      selection_valid_ = true;
+    }
     return served;
   }
 
@@ -233,8 +342,17 @@ class CifRecordReader final : public RecordReader {
 
   bool Next() override {
     if (!status_.ok()) return false;
-    if (row_ + 1 >= static_cast<int64_t>(row_count_)) return false;
-    ++row_;
+    uint64_t next_row = static_cast<uint64_t>(row_ + 1);
+    if (pushdown_) {
+      const uint64_t target = NextUnprunedRow(next_row);
+      if (target != next_row) {
+        status_ = SkipPruned(next_row, target);
+        if (!status_.ok()) return false;
+        next_row = target;
+      }
+    }
+    if (next_row >= row_count_) return false;
+    row_ = static_cast<int64_t>(next_row);
     m_records_->Increment();
     if (lazy_) {
       lazy_record_->AdvanceTo(static_cast<uint64_t>(row_));
@@ -261,7 +379,79 @@ class CifRecordReader final : public RecordReader {
 
   Status status() const override { return status_; }
 
+  const std::vector<uint32_t>* selection() const override {
+    return selection_valid_ ? &selection_ : nullptr;
+  }
+
  private:
+  /// Marks the rowgroups whose zone maps refute the predicate. `stats` is
+  /// aligned with projection_; a column's stats only participate when
+  /// present and when their geometry matches this split (same rows per
+  /// group, a group for every kCifStatsRowGroup rows).
+  void BuildPruneMap(const std::vector<ColumnFileStats>& stats,
+                     const std::vector<uint8_t>& stats_present) {
+    const uint64_t n_groups =
+        (row_count_ + kCifStatsRowGroup - 1) / kCifStatsRowGroup;
+    pruned_.assign(n_groups, 0);
+    std::vector<std::pair<std::string, const ColumnFileStats*>> usable;
+    for (size_t p = 0; p < stats.size() && p < projection_.size(); ++p) {
+      if (stats_present.size() > p && stats_present[p] != 0 &&
+          stats[p].rows_per_group == kCifStatsRowGroup &&
+          stats[p].groups.size() == n_groups) {
+        usable.emplace_back(schema_->fields()[projection_[p]].name,
+                            &stats[p]);
+      }
+    }
+    if (usable.empty()) return;
+    for (uint64_t g = 0; g < n_groups; ++g) {
+      const auto lookup =
+          [&](const std::string& name) -> const ColumnStats* {
+        for (const auto& [n, s] : usable) {
+          if (n == name) return &s->groups[g];
+        }
+        return nullptr;
+      };
+      if (!PredicateCanMatch(*predicate_, lookup)) pruned_[g] = 1;
+    }
+  }
+
+  /// First unpruned row at or after `row` (row_count_ when none remain).
+  uint64_t NextUnprunedRow(uint64_t row) const {
+    uint64_t g = row / kCifStatsRowGroup;
+    while (g < pruned_.size() && pruned_[g] != 0) {
+      ++g;
+      row = g * kCifStatsRowGroup;
+    }
+    return std::min(row, row_count_);
+  }
+
+  /// End (exclusive) of the contiguous unpruned run containing `row`.
+  uint64_t UnprunedRunEnd(uint64_t row) const {
+    uint64_t g = row / kCifStatsRowGroup;
+    while (g < pruned_.size() && pruned_[g] == 0) ++g;
+    return std::min(g * kCifStatsRowGroup, row_count_);
+  }
+
+  /// Advances the scan from row `from` to `to` past pruned rowgroups.
+  /// Eager readers skip every column file through the skip-list/block
+  /// machinery; the lazy record skips per column on first touch, so only
+  /// the row index moves here.
+  Status SkipPruned(uint64_t from, uint64_t to) {
+    if (to <= from) return Status::OK();
+    if (!lazy_) {
+      for (const auto& column : columns_) {
+        COLMR_RETURN_IF_ERROR(column->SkipRows(to - from));
+      }
+    }
+    m_prune_rowgroups_->Increment(
+        (to - from + kCifStatsRowGroup - 1) / kCifStatsRowGroup);
+    m_prune_rows_->Increment(to - from);
+    TraceInstant(trace_, "cif_prune_rowgroups", "cif",
+                 {{"from_row", TraceCollector::JsonValue(from)},
+                  {"rows", TraceCollector::JsonValue(to - from)}});
+    return Status::OK();
+  }
+
   Schema::Ptr schema_;
   std::vector<int> projection_;
   std::vector<std::unique_ptr<ColumnFileReader>> columns_;
@@ -269,6 +459,7 @@ class CifRecordReader final : public RecordReader {
   uint64_t row_count_ = 0;
   int64_t row_ = -1;
   EagerRecord eager_record_;
+  TraceCollector* trace_ = nullptr;
   Counter* m_records_ = nullptr;
   std::unique_ptr<LazyRecord> lazy_record_;
   std::unique_ptr<NullPaddingRecord> eager_padded_;
@@ -282,6 +473,17 @@ class CifRecordReader final : public RecordReader {
   std::vector<Status> column_status_;
   uint64_t batch_start_row_ = 0;
   Status pending_batch_error_;
+
+  // Pushdown state (DESIGN.md §13).
+  std::shared_ptr<const Predicate> predicate_;
+  bool pushdown_ = false;
+  std::vector<uint8_t> pruned_;  // per-rowgroup: 1 = refuted by zone maps
+  std::vector<std::pair<std::string, int>> lane_of_field_;
+  BatchPredicateEvaluator evaluator_;
+  std::vector<uint32_t> selection_;
+  bool selection_valid_ = false;
+  Counter* m_prune_rowgroups_ = nullptr;
+  Counter* m_prune_rows_ = nullptr;
 };
 
 }  // namespace
@@ -290,6 +492,19 @@ Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
                                     const ReadContext& context,
                                     std::vector<InputSplit>* splits) {
   splits->clear();
+  const bool prune =
+      config.predicate != nullptr && config.predicate_pushdown;
+  // Splits refuted at plan time, with their rowgroup/row counts for the
+  // prune counters. Counter increments are deferred: if every split is
+  // refuted, one is re-added (the engine needs at least one split; its
+  // reader then prunes all rowgroups and serves zero rows) and must not
+  // be counted as pruned.
+  struct Refuted {
+    InputSplit split;
+    uint64_t rowgroups = 0;
+    uint64_t rows = 0;
+  };
+  std::vector<Refuted> refuted;
   for (const std::string& base : config.input_paths) {
     std::vector<std::string> children;
     COLMR_RETURN_IF_ERROR(fs->ListDir(base, &children));
@@ -298,13 +513,16 @@ Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
       const std::string dir = base + "/" + child;
       Schema::Ptr schema;
       COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
-      std::vector<int> projection;
-      COLMR_RETURN_IF_ERROR(ResolveProjection(
-          *schema, config.projection, config.null_for_missing_columns,
-          &projection, nullptr));
+      if (config.predicate != nullptr) {
+        COLMR_RETURN_IF_ERROR(ValidatePredicate(
+            *config.predicate, *schema, config.null_for_missing_columns));
+      }
+      std::vector<int> read_set;
+      COLMR_RETURN_IF_ERROR(ResolveReadSet(*schema, config, &read_set,
+                                           nullptr));
 
       InputSplit split;
-      for (int c : projection) {
+      for (int c : read_set) {
         split.paths.push_back(dir + "/" + schema->fields()[c].name + ".col");
       }
       for (const std::string& path : split.paths) {
@@ -313,8 +531,40 @@ Status ColumnInputFormat::GetSplits(MiniHdfs* fs, const JobConfig& config,
         split.length += size;
       }
       split.locations = fs->CommonReplicaNodes(split.paths);
+      if (prune) {
+        uint64_t rows = 0;
+        uint64_t groups = 0;
+        if (SplitRefuted(fs, dir, *schema, *config.predicate, context, &rows,
+                         &groups)) {
+          refuted.push_back({std::move(split), groups, rows});
+          continue;
+        }
+      }
       splits->push_back(std::move(split));
     }
+  }
+  if (splits->empty() && !refuted.empty()) {
+    splits->push_back(std::move(refuted.front().split));
+    refuted.erase(refuted.begin());
+  }
+  if (!refuted.empty()) {
+    MetricsRegistry* metrics = context.metrics != nullptr
+                                   ? context.metrics
+                                   : &MetricsRegistry::Default();
+    uint64_t groups = 0;
+    uint64_t rows = 0;
+    for (const Refuted& r : refuted) {
+      groups += r.rowgroups;
+      rows += r.rows;
+    }
+    metrics->counter("cif.prune.splits")->Increment(refuted.size());
+    metrics->counter("cif.prune.rowgroups")->Increment(groups);
+    metrics->counter("cif.prune.rows")->Increment(rows);
+    TraceInstant(context.trace, "cif_prune_splits", "cif",
+                 {{"splits", TraceCollector::JsonValue(
+                                 static_cast<uint64_t>(refuted.size()))},
+                  {"rowgroups", TraceCollector::JsonValue(groups)},
+                  {"rows", TraceCollector::JsonValue(rows)}});
   }
   if (splits->empty()) {
     return Status::NotFound("cif: no split-directories found");
@@ -332,11 +582,14 @@ Status ColumnInputFormat::CreateRecordReader(
   const std::string dir = first.substr(0, first.rfind('/'));
   Schema::Ptr schema;
   COLMR_RETURN_IF_ERROR(ReadDatasetSchema(fs, dir, &schema, context));
+  if (config.predicate != nullptr) {
+    COLMR_RETURN_IF_ERROR(ValidatePredicate(*config.predicate, *schema,
+                                            config.null_for_missing_columns));
+  }
   std::vector<int> projection;
   std::vector<std::string> missing;
-  COLMR_RETURN_IF_ERROR(ResolveProjection(*schema, config.projection,
-                                          config.null_for_missing_columns,
-                                          &projection, &missing));
+  COLMR_RETURN_IF_ERROR(ResolveReadSet(*schema, config, &projection,
+                                       &missing));
 
   if (projection.empty() && !missing.empty()) {
     // Row counts come from the projected column files, so a split must
@@ -354,9 +607,30 @@ Status ColumnInputFormat::CreateRecordReader(
   MetricsRegistry* metrics = context.metrics != nullptr
                                  ? context.metrics
                                  : &MetricsRegistry::Default();
-  reader->reset(new CifRecordReader(std::move(schema), std::move(projection),
-                                    std::move(columns), config.lazy_records,
-                                    std::move(missing), metrics));
+  // Per-rowgroup zone maps of the predicate columns, aligned with the
+  // read set; the reader refutes rowgroups against them before decoding.
+  std::vector<ColumnFileStats> stats(projection.size());
+  std::vector<uint8_t> stats_present(projection.size(), 0);
+  if (config.predicate != nullptr && config.predicate_pushdown) {
+    const std::vector<std::string> predicate_columns =
+        PredicateColumns(*config.predicate);
+    for (size_t p = 0; p < projection.size(); ++p) {
+      const std::string& name = schema->fields()[projection[p]].name;
+      if (std::find(predicate_columns.begin(), predicate_columns.end(),
+                    name) == predicate_columns.end()) {
+        continue;
+      }
+      bool present = false;
+      COLMR_RETURN_IF_ERROR(ReadColumnStats(fs, dir + "/" + name + ".col",
+                                            context, &stats[p], &present));
+      stats_present[p] = present ? 1 : 0;
+    }
+  }
+  reader->reset(new CifRecordReader(
+      std::move(schema), std::move(projection), std::move(columns),
+      config.lazy_records, std::move(missing), metrics, context.trace,
+      config.predicate, config.predicate_pushdown, std::move(stats),
+      std::move(stats_present)));
   return Status::OK();
 }
 

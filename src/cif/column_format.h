@@ -22,6 +22,21 @@ inline constexpr uint64_t kCifDictInterval = 1000;
 /// Conventional file names inside a split-directory.
 inline constexpr char kCifSchemaFileName[] = "_schema";
 
+// Zone-map stats footer (DESIGN.md §13), appended after the column body
+// as [payload][fixed32 payload length][magic]. Files written before the
+// footer existed lack the magic and simply report no stats.
+
+inline constexpr char kCifStatsMagic[4] = {'C', 'S', 'T', '1'};
+inline constexpr uint64_t kCifStatsVersion = 1;
+
+/// Rows per stats rowgroup — aligned with kCifSkip2 so a pruned rowgroup
+/// is exactly one skip1000 jump.
+inline constexpr uint64_t kCifStatsRowGroup = kCifSkip2;
+
+/// String min/max bounds stored in the footer are truncated to at most
+/// this many bytes (plus one for the bumped max byte).
+inline constexpr uint64_t kCifStatsStringPrefix = 64;
+
 }  // namespace colmr
 
 #endif  // COLMR_CIF_COLUMN_FORMAT_H_

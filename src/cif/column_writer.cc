@@ -49,6 +49,7 @@ Status ColumnFileWriter::Append(const Value& value) {
     COLMR_RETURN_IF_ERROR(EncodeValue(*type_, value, &values_));
   }
   sizes_.push_back(static_cast<uint32_t>(values_.size() - before));
+  stats_.Observe(value);
   return Status::OK();
 }
 
@@ -167,7 +168,8 @@ Status ColumnFileWriter::Close() {
   switch (options_.layout) {
     case ColumnLayout::kPlain:
       file_->Append(values_.AsSlice());
-      return file_->Close();
+      body.Clear();
+      break;
     case ColumnLayout::kSkipList:
     case ColumnLayout::kDictSkipList:
       COLMR_RETURN_IF_ERROR(CloseSkipList(&body));
@@ -177,6 +179,12 @@ Status ColumnFileWriter::Close() {
       break;
   }
   file_->Append(body.AsSlice());
+  // Zone-map footer, after the body. Readers stop at row_count, and every
+  // skip-list target clamps to body end, so the trailing bytes are
+  // invisible to scans; only ReadColumnStats looks at them.
+  Buffer footer;
+  stats_.AppendFooter(&footer);
+  file_->Append(footer.AsSlice());
   return file_->Close();
 }
 

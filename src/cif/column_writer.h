@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cif/column_stats.h"
 #include "cif/options.h"
 #include "common/buffer.h"
 #include "compress/dictionary.h"
@@ -66,6 +67,8 @@ class ColumnFileWriter {
   std::vector<uint32_t> sizes_; // per-value encoded size
   // DCSL state: one dictionary per 1000-row group, built incrementally.
   std::vector<StringDictionary> dicts_;
+  // Zone-map accumulation (DESIGN.md §13), serialized as the footer.
+  ColumnStatsCollector stats_;
 };
 
 }  // namespace colmr

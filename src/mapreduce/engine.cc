@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serde/encoding.h"
+#include "serde/predicate.h"
 
 namespace colmr {
 
@@ -569,11 +570,26 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
           spill_buffer != nullptr ? static_cast<Emitter*>(spill_buffer.get())
                                   : &emitter;
       ThreadCpuStopwatch watch;
+      // Predicate filter (DESIGN.md §13): rows reach the mapper only when
+      // the job predicate is TRUE. The format may have evaluated it
+      // already (selection()); otherwise the engine filters row-wise
+      // here, so output is identical with pushdown on or off.
+      const Predicate* predicate = job.config.predicate.get();
       if (job.config.batch_rows <= 1) {
         // Scalar path, bit-for-bit the pre-batch engine.
         uint64_t tick = 0;
         while (reader->Next()) {
           if ((++tick & 63) == 0 && interrupted()) break;
+          if (predicate != nullptr) {
+            Status eval;
+            const Tri pass = EvalPredicateRow(*predicate, reader->record(),
+                                              &eval);
+            if (!eval.ok()) {
+              abort_status = eval;
+              break;
+            }
+            if (pass != Tri::kTrue) continue;
+          }
           job.mapper(reader->record(), map_out);
           ++task->input_records;
         }
@@ -581,10 +597,32 @@ Status JobRunner::ExecutePhases(const Job& job, JobReport* report,
         uint64_t filled;
         while ((filled = reader->FillBatch(job.config.batch_rows)) > 0) {
           if (interrupted()) break;
-          for (uint64_t r = 0; r < filled; ++r) {
-            job.mapper(reader->RecordAt(r), map_out);
+          const std::vector<uint32_t>* selection = reader->selection();
+          if (selection != nullptr) {
+            for (const uint32_t r : *selection) {
+              job.mapper(reader->RecordAt(r), map_out);
+            }
+            task->input_records += selection->size();
+          } else if (predicate != nullptr) {
+            Status eval;
+            for (uint64_t r = 0; r < filled; ++r) {
+              Record& record = reader->RecordAt(r);
+              const Tri pass = EvalPredicateRow(*predicate, record, &eval);
+              if (!eval.ok()) break;
+              if (pass != Tri::kTrue) continue;
+              job.mapper(record, map_out);
+              ++task->input_records;
+            }
+            if (!eval.ok()) {
+              abort_status = eval;
+              break;
+            }
+          } else {
+            for (uint64_t r = 0; r < filled; ++r) {
+              job.mapper(reader->RecordAt(r), map_out);
+            }
+            task->input_records += filled;
           }
-          task->input_records += filled;
         }
       }
       // Map-side combine (in-memory path; the spill buffer combines at

@@ -67,6 +67,14 @@ class RecordReader {
     (void)i;
     return record();
   }
+
+  /// Selection over the current batch (DESIGN.md §13): when non-null, the
+  /// reader has already evaluated the job predicate and the engine must
+  /// map exactly the rows whose indices appear here (ascending, each <
+  /// the last FillBatch return value), skipping the rest. Null (the
+  /// default) means the reader made no selection and the engine filters
+  /// rows itself. Valid until the next FillBatch call.
+  virtual const std::vector<uint32_t>* selection() const { return nullptr; }
 };
 
 /// The central Hadoop extensibility point the paper builds on (Section 2):

@@ -17,6 +17,7 @@ namespace colmr {
 
 class MetricsRegistry;
 class TraceCollector;
+struct Predicate;
 
 /// Per-job configuration, the moral equivalent of Hadoop's JobConf.
 struct JobConfig {
@@ -32,6 +33,19 @@ struct JobConfig {
   /// CIF record construction strategy (paper Section 5.1): false =
   /// EagerRecord, true = LazyRecord.
   bool lazy_records = false;
+
+  // ---- Predicate pushdown (DESIGN.md §13) ----
+  /// Row filter applied before the mapper sees a record: only rows where
+  /// the predicate is TRUE (three-valued logic; NULL filters out) are
+  /// mapped. Null = no filter. Output is byte-identical whether the
+  /// filter runs in the format (pushdown) or in the engine's map loop.
+  std::shared_ptr<const Predicate> predicate;
+  /// When true (default) and the format supports it, the predicate also
+  /// prunes at plan and scan time: CIF drops splits and rowgroups whose
+  /// zone maps refute it and evaluates survivors with vectorized
+  /// selection kernels. False confines filtering to the engine's map
+  /// loop — the comparison arm the benchmarks measure.
+  bool predicate_pushdown = true;
 
   /// CIF schema-evolution tolerance: when true, a projected column that a
   /// split-directory predates (e.g. day partitions ingested before an

@@ -42,6 +42,34 @@ Value MicrobenchGenerator::Next() {
   return Value::Record(std::move(values));
 }
 
+Schema::Ptr ZonedSchema() {
+  std::vector<Schema::Field> fields;
+  fields.push_back({"seq", Schema::Int64()});
+  for (int i = 0; i < 3; ++i) {
+    fields.push_back({"str" + std::to_string(i), Schema::String()});
+  }
+  for (int i = 0; i < 3; ++i) {
+    fields.push_back({"int" + std::to_string(i), Schema::Int32()});
+  }
+  return Schema::Record("Zoned", std::move(fields));
+}
+
+ZonedGenerator::ZonedGenerator(uint64_t seed) : rng_(seed) {}
+
+Value ZonedGenerator::Next() {
+  std::vector<Value> values;
+  values.reserve(7);
+  values.push_back(Value::Int64(seq_++));
+  for (int i = 0; i < 3; ++i) {
+    values.push_back(Value::String(rng_.NextString(20, 40)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    values.push_back(
+        Value::Int32(static_cast<int32_t>(rng_.UniformRange(1, 10000))));
+  }
+  return Value::Record(std::move(values));
+}
+
 Schema::Ptr WideSchema(int num_columns) {
   std::vector<Schema::Field> fields;
   fields.reserve(num_columns);

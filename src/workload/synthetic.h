@@ -36,6 +36,26 @@ class MicrobenchGenerator {
 /// Prefix carried by "hit" records' first string column.
 inline constexpr char kMicrobenchMatchPrefix[] = "match-";
 
+/// Schema of the predicate-pushdown benchmark dataset: a monotonically
+/// increasing int64 `seq` plus string/int payload columns (str0-2,
+/// int0-2). Because `seq` is sorted, its zone maps are tight and a
+/// `seq < cutoff` predicate prunes almost exactly (1 - selectivity) of
+/// the rowgroups — the clustered-column case the pushdown sweep measures.
+Schema::Ptr ZonedSchema();
+
+/// Streams zoned records: seq counts 0, 1, 2, ...; payload strings of
+/// length 20-40 and ints uniform in [1, 10000], as in the microbenchmark.
+class ZonedGenerator {
+ public:
+  explicit ZonedGenerator(uint64_t seed);
+
+  Value Next();
+
+ private:
+  Random rng_;
+  int64_t seq_ = 0;
+};
+
 /// Schema with `num_columns` string columns (c0, c1, ...), for the
 /// record-width experiment (Fig. 11 / Appendix B.5).
 Schema::Ptr WideSchema(int num_columns);

@@ -3,7 +3,8 @@
 //
 //   colmr init  <image> [num_nodes]             create an empty filesystem
 //   colmr gen   <image> <path> <kind> <n> [sel] generate a dataset
-//                 kind: crawl | weblog | micro  (written as CIF)
+//                 kind: crawl | weblog | micro | zoned  (written as CIF;
+//                 zoned has a monotone `seq` key, so zone maps prune it)
 //   colmr ls    <image> [path]                  list a directory
 //   colmr stat  <image>                         cluster and space summary
 //   colmr schema <image> <dataset>              print the dataset schema
@@ -16,6 +17,7 @@
 //   colmr corrupt <image> <file> <block> <replica>
 //                                               flip a bit in one replica
 //   colmr scan  <image> <dataset> [p] [--batch-rows=N] [--out=PATH]
+//               [--where=EXPR] [--no-pushdown]
 //               [--speculative] [--task-timeout-ms=N]
 //               [--sort-buffer-kb=N] [--merge-factor=N] [--spill-codec=C]
 //               [--write-error-p=P] [--task-commit-error-p=P]
@@ -42,11 +44,19 @@
 //                                               none | lzf | zlite
 //   colmr stats <image> <dataset> [--json] [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
-//               [--batch-rows=N]
-//                                               run a scan job and dump the
-//                                               metrics delta it produced
+//               [--batch-rows=N] [--where=EXPR] [--no-pushdown]
+//                                               print the per-column
+//                                               zone-map summary of a CIF
+//                                               dataset, then run a scan
+//                                               job and dump the metrics
+//                                               delta it produced
 //                                               (cache/readahead knobs:
-//                                               DESIGN.md §9)
+//                                               DESIGN.md §9; predicate
+//                                               pushdown: DESIGN.md §13.
+//                                               --where filters the scan,
+//                                               e.g. --where='seq < 100';
+//                                               --no-pushdown keeps the
+//                                               filter in the map loop)
 //   colmr trace <image> <dataset> <out.json> [--lazy] [--project=c1,c2]
 //               [--cache-mb=N] [--readahead-kb=N] [--prefetch-depth=N]
 //               [--batch-rows=N]
@@ -70,6 +80,8 @@
 #include <string>
 
 #include "cif/cof.h"
+#include "cif/column_format.h"
+#include "cif/column_stats.h"
 #include "cif/loader.h"
 #include "formats/detect.h"
 #include "formats/rcfile/rcfile.h"
@@ -80,6 +92,7 @@
 #include "mapreduce/job.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serde/predicate.h"
 #include "workload/crawl.h"
 #include "workload/synthetic.h"
 #include "workload/weblog.h"
@@ -98,6 +111,16 @@ int Usage() {
                "rerep|corrupt|scan|stats|trace> <image> [args...]\n(see the "
                "header of tools/colmr_cli.cc for details)\n");
   return 2;
+}
+
+/// Parses --where=EXPR into JobConfig::predicate (DESIGN.md §13).
+Status SetWhere(const std::string& where, bool pushdown, JobConfig* config) {
+  if (where.empty()) return Status::OK();
+  Predicate predicate;
+  COLMR_RETURN_IF_ERROR(ParsePredicate(where, &predicate));
+  config->predicate = std::make_shared<const Predicate>(std::move(predicate));
+  config->predicate_pushdown = pushdown;
+  return Status::OK();
 }
 
 std::unique_ptr<MiniHdfs> LoadFs(const std::string& image, Status* status) {
@@ -148,6 +171,13 @@ int CmdGen(const std::string& image, int argc, char** argv) {
   } else if (kind == "micro") {
     schema = MicrobenchSchema();
     auto gen = std::make_shared<MicrobenchGenerator>(42, selectivity);
+    keepalive = gen;
+    next = [gen] { return gen->Next(); };
+  } else if (kind == "zoned") {
+    // Monotone `seq` key: zone maps on it actually prune, so this is the
+    // dataset to demo `--where='seq < N'` / `colmr stats` against.
+    schema = ZonedSchema();
+    auto gen = std::make_shared<ZonedGenerator>(42);
     keepalive = gen;
     next = [gen] { return gen->Next(); };
   } else {
@@ -404,6 +434,8 @@ int CmdCorrupt(const std::string& image, int argc, char** argv) {
 int CmdScan(const std::string& image, int argc, char** argv) {
   uint64_t batch_rows = 0;
   std::string out_path;
+  std::string where;
+  bool pushdown = true;
   bool speculative = false;
   int task_timeout_ms = 0;
   uint64_t sort_buffer_kb = 0;
@@ -417,6 +449,10 @@ int CmdScan(const std::string& image, int argc, char** argv) {
       batch_rows = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--where=", 0) == 0) {
+      where = arg.substr(8);
+    } else if (arg == "--no-pushdown") {
+      pushdown = false;
     } else if (arg == "--speculative") {
       speculative = true;
     } else if (arg.rfind("--task-timeout-ms=", 0) == 0) {
@@ -467,6 +503,8 @@ int CmdScan(const std::string& image, int argc, char** argv) {
   Job job;
   job.config.input_paths = {path};
   if (batch_rows > 0) job.config.batch_rows = batch_rows;
+  s = SetWhere(where, pushdown, &job.config);
+  if (!s.ok()) return Fail(s);
   job.config.task_timeout_ms = task_timeout_ms;
   job.config.speculative_execution = speculative;
   job.config.sort_buffer_bytes = sort_buffer_kb * 1024;
@@ -563,6 +601,9 @@ struct ScanJobFlags {
   bool lazy = false;
   std::vector<std::string> projection;
   std::vector<std::string> positional;
+  // Predicate pushdown (DESIGN.md §13).
+  std::string where;
+  bool pushdown = true;
   // Block cache / readahead knobs (DESIGN.md §9).
   uint64_t cache_mb = 0;
   uint64_t readahead_kb = 0;
@@ -579,6 +620,10 @@ ScanJobFlags ParseScanJobFlags(int argc, char** argv) {
       flags.json = true;
     } else if (arg == "--lazy") {
       flags.lazy = true;
+    } else if (arg.rfind("--where=", 0) == 0) {
+      flags.where = arg.substr(8);
+    } else if (arg == "--no-pushdown") {
+      flags.pushdown = false;
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       flags.cache_mb = std::strtoull(arg.c_str() + 11, nullptr, 10);
     } else if (arg.rfind("--readahead-kb=", 0) == 0) {
@@ -618,11 +663,93 @@ Status RunScanJob(MiniHdfs* fs, const std::string& path,
   job.config.readahead_bytes = flags.readahead_kb << 10;
   job.config.prefetch_depth = flags.prefetch_depth;
   if (flags.batch_rows > 0) job.config.batch_rows = flags.batch_rows;
+  COLMR_RETURN_IF_ERROR(SetWhere(flags.where, flags.pushdown, &job.config));
   COLMR_RETURN_IF_ERROR(
       DetectInputFormat(fs, path, &job.input_format, nullptr));
   job.mapper = [](Record&, Emitter*) {};
   JobRunner runner(fs);
   return runner.Run(job, report);
+}
+
+/// Prints the per-column zone-map summary of a CIF dataset (DESIGN.md
+/// §13): per column, how many rowgroups its stats footers cover, how many
+/// carry both bounds (prune-capable groups), the null count, and the
+/// dataset-wide [min .. max] range. Prints nothing for row-format
+/// datasets; columns written before the stats footer existed show
+/// "no stats footer".
+void PrintZoneMaps(MiniHdfs* fs, const std::string& dataset) {
+  std::vector<std::string> children;
+  if (!fs->ListDir(dataset, &children).ok()) return;
+  Schema::Ptr schema;
+  std::vector<std::string> dirs;
+  for (const std::string& child : children) {
+    const std::string dir = dataset + "/" + child;
+    Schema::Ptr dir_schema;
+    if (ReadDatasetSchema(fs, dir, &dir_schema).ok()) {
+      if (schema == nullptr) schema = dir_schema;
+      dirs.push_back(dir);
+    }
+  }
+  if (schema == nullptr) return;  // not a CIF dataset
+  std::printf("zone maps: %zu split-directories, %llu-row groups\n",
+              dirs.size(),
+              static_cast<unsigned long long>(kCifStatsRowGroup));
+  std::printf("  %-12s %-10s %8s %8s %10s  %s\n", "column", "type", "groups",
+              "bounded", "nulls", "range");
+  for (const auto& field : schema->fields()) {
+    uint64_t groups = 0, bounded = 0, nulls = 0;
+    bool any_footer = false;
+    // Dataset-wide bounds exist only when every split-directory's footer
+    // carries the file-level bound (same conservative rule pruning uses).
+    bool all_min = true, all_max = true;
+    Value min, max;
+    bool have_min = false, have_max = false;
+    for (const std::string& dir : dirs) {
+      ColumnFileStats stats;
+      bool present = false;
+      if (!ReadColumnStats(fs, dir + "/" + field.name + ".col", ReadContext{},
+                           &stats, &present)
+               .ok() ||
+          !present) {
+        all_min = all_max = false;
+        continue;
+      }
+      any_footer = true;
+      groups += stats.groups.size();
+      for (const ColumnStats& g : stats.groups) {
+        if (g.has_min && g.has_max) ++bounded;
+      }
+      nulls += stats.file.nulls;
+      if (stats.file.values > stats.file.nulls) {
+        if (!stats.file.has_min) all_min = false;
+        if (!stats.file.has_max) all_max = false;
+      }
+      if (stats.file.has_min &&
+          (!have_min || PrimitiveLess(stats.file.min, min))) {
+        min = stats.file.min;
+        have_min = true;
+      }
+      if (stats.file.has_max &&
+          (!have_max || PrimitiveLess(max, stats.file.max))) {
+        max = stats.file.max;
+        have_max = true;
+      }
+    }
+    std::string range;
+    if (!any_footer) {
+      range = "no stats footer";
+    } else if (all_min && all_max && have_min && have_max) {
+      range = "[" + min.ToString() + " .. " + max.ToString() + "]";
+    } else {
+      range = "-";  // counts-only column (container, all-null, or NaN)
+    }
+    std::printf("  %-12s %-10s %8llu %8llu %10llu  %s\n", field.name.c_str(),
+                field.type->ToString().c_str(),
+                static_cast<unsigned long long>(groups),
+                static_cast<unsigned long long>(bounded),
+                static_cast<unsigned long long>(nulls), range.c_str());
+  }
+  std::printf("\n");
 }
 
 int CmdStats(const std::string& image, int argc, char** argv) {
@@ -631,6 +758,8 @@ int CmdStats(const std::string& image, int argc, char** argv) {
   Status s;
   auto fs = LoadFs(image, &s);
   if (!s.ok()) return Fail(s);
+
+  if (!flags.json) PrintZoneMaps(fs.get(), flags.positional[0]);
 
   // Diff the process-wide registry around the job: the delta is exactly
   // what this scan did, across every layer (hdfs, cif, serde, mr).
